@@ -1,0 +1,84 @@
+/// eMPI micro-benchmarks (§II-E): point-to-point latency/throughput of
+/// the TIE message-passing path and barrier cost versus core count — the
+/// low-latency synchronization the paper's hybrid model is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/medea.h"
+
+using namespace medea;
+
+namespace {
+
+sim::Task<> pingpong_a(pe::ProcessingElement& pe, int peer, int rounds,
+                       int words, sim::Cycle* cycles) {
+  std::vector<std::uint32_t> payload(static_cast<std::size_t>(words), 7u);
+  const sim::Cycle t0 = pe.now();
+  for (int r = 0; r < rounds; ++r) {
+    co_await empi::send(pe, peer, payload);
+    co_await empi::receive(pe, peer, words);
+  }
+  *cycles = pe.now() - t0;
+}
+
+sim::Task<> pingpong_b(pe::ProcessingElement& pe, int peer, int rounds,
+                       int words) {
+  std::vector<std::uint32_t> payload(static_cast<std::size_t>(words), 9u);
+  for (int r = 0; r < rounds; ++r) {
+    co_await empi::receive(pe, peer, words);
+    co_await empi::send(pe, peer, payload);
+  }
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const int words = static_cast<int>(state.range(0));
+  const int rounds = 50;
+  sim::Cycle cycles = 0;
+  for (auto _ : state) {
+    core::MedeaConfig cfg;
+    cfg.num_compute_cores = 2;
+    core::MedeaSystem sys(cfg);
+    sys.set_program(0, pingpong_a(sys.core(0), sys.node_of_rank(1), rounds,
+                                  words, &cycles));
+    sys.set_program(1,
+                    pingpong_b(sys.core(1), sys.node_of_rank(0), rounds, words));
+    sys.run();
+  }
+  state.counters["cycles_per_roundtrip"] =
+      static_cast<double>(cycles) / rounds;
+  state.counters["payload_words"] = words;
+}
+
+sim::Task<> barrier_loop(pe::ProcessingElement& pe, std::vector<int> members,
+                         int rounds, sim::Cycle* cycles) {
+  const sim::Cycle t0 = pe.now();
+  for (int r = 0; r < rounds; ++r) co_await empi::barrier(pe, members);
+  if (cycles != nullptr) *cycles = pe.now() - t0;
+}
+
+void BM_Barrier(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const int rounds = 20;
+  sim::Cycle cycles = 0;
+  for (auto _ : state) {
+    core::MedeaConfig cfg;
+    cfg.num_compute_cores = cores;
+    core::MedeaSystem sys(cfg);
+    for (int r = 0; r < cores; ++r) {
+      sys.set_program(r, barrier_loop(sys.core(r), sys.core_nodes(), rounds,
+                                      r == 0 ? &cycles : nullptr));
+    }
+    sys.run();
+  }
+  state.counters["cycles_per_barrier"] = static_cast<double>(cycles) / rounds;
+  state.counters["cores"] = cores;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PingPong)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/// Fig. 7 harness: optimal speedup versus chip area for the 60x60 array.
+///
+/// Reproduces the paper's method: run the full design space (cores 2..15,
+/// cache 2..64 kB, WB+WT), attach the 65 nm area model, prune
+/// Pareto-dominated points, and walk the frontier with the Kill rule.
+/// Labels follow the paper's "NP_Mk$" style.
+///
+/// Expected shape (paper): a lower knee where the per-core data block
+/// first fits in L1 (speedup jumps), and an upper knee around 8-11 cores
+/// with 16 kB caches beyond which extra area stops paying (Kill rule).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dse/pareto.h"
+#include "dse/report.h"
+#include "dse/sweep.h"
+
+using namespace medea;
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 60;
+  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. benchmark flags)
+  std::printf("# Fig. 7 — optimal speedup vs chip area, %dx%d array\n", n, n);
+
+  dse::SweepSpec spec;
+  spec.n = n;
+  const auto points = dse::run_sweep(spec);
+  auto design = dse::to_design_points(points);
+  const auto frontier = dse::pareto_frontier(design);
+
+  // The paper normalises against the smallest-area configuration.
+  const double baseline = frontier.front().exec_cycles;
+  const auto curve = dse::speedup_curve(frontier, baseline);
+  const std::size_t knee = dse::kill_rule_knee(frontier);
+
+  std::printf("%-10s %-10s %-14s %s\n", "area_mm2", "speedup", "config",
+              "note");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::printf("%-10.2f %-10.2f %-14s %s\n", curve[i].area_mm2,
+                curve[i].speedup, curve[i].label.c_str(),
+                i == knee ? "<- Kill-rule knee" : "");
+  }
+  std::printf("\n# Kill-rule optimum: %s at %.2f mm2 (speedup %.1f)\n",
+              frontier[knee].label.c_str(), frontier[knee].area_mm2,
+              baseline / frontier[knee].exec_cycles);
+
+  if (const char* dir = std::getenv("MEDEA_REPORT_DIR")) {
+    const std::string base = std::string(dir) + "/fig7_" + std::to_string(n);
+    dse::write_file(base + ".dat", dse::speedup_dat(curve));
+    dse::write_file(base + ".gp",
+                    dse::speedup_gp(base + ".dat",
+                                    "Optimal speedup vs chip area, " +
+                                        std::to_string(n) + "x" +
+                                        std::to_string(n)));
+    std::printf("# artifacts written to %s.{dat,gp}\n", base.c_str());
+  }
+  return 0;
+}

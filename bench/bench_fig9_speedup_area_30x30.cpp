@@ -1,0 +1,37 @@
+/// Fig. 9 harness: optimal speedup versus chip area for the 30x30 array.
+///
+/// Expected shape (paper): the lower knee occurs at a 4x smaller cache
+/// than the 60x60 case (the array is 4x smaller) and at a larger core
+/// count; the Kill-rule knee falls at or beyond 15 cores.
+
+#include <cstdio>
+
+#include "dse/pareto.h"
+#include "dse/sweep.h"
+
+using namespace medea;
+
+int main() {
+  std::printf("# Fig. 9 — optimal speedup vs chip area, 30x30 array\n");
+
+  dse::SweepSpec spec;
+  spec.n = 30;
+  const auto points = dse::run_sweep(spec);
+  auto design = dse::to_design_points(points);
+  const auto frontier = dse::pareto_frontier(design);
+  const double baseline = frontier.front().exec_cycles;
+  const auto curve = dse::speedup_curve(frontier, baseline);
+  const std::size_t knee = dse::kill_rule_knee(frontier);
+
+  std::printf("%-10s %-10s %-14s %s\n", "area_mm2", "speedup", "config",
+              "note");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::printf("%-10.2f %-10.2f %-14s %s\n", curve[i].area_mm2,
+                curve[i].speedup, curve[i].label.c_str(),
+                i == knee ? "<- Kill-rule knee" : "");
+  }
+  std::printf("\n# Kill-rule optimum: %s at %.2f mm2 (speedup %.1f)\n",
+              frontier[knee].label.c_str(), frontier[knee].area_mm2,
+              baseline / frontier[knee].exec_cycles);
+  return 0;
+}

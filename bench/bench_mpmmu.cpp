@@ -1,0 +1,82 @@
+/// MPMMU ablation (§II-C and the paper's "MPMMU optimization" future
+/// work): effect of the local cache and of DDR latency on shared-memory
+/// service time, and the serialization behaviour under multi-core load.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/jacobi.h"
+#include "core/medea.h"
+#include "dse/sweep.h"
+
+using namespace medea;
+
+namespace {
+
+/// Pure-shared-memory Jacobi — every byte moves through the MPMMU — with
+/// the MPMMU cache on or off.
+void BM_MpmmuCacheEffect(benchmark::State& state) {
+  const bool use_cache = state.range(0) != 0;
+  const int cores = static_cast<int>(state.range(1));
+  double cycles = 0.0;
+  for (auto _ : state) {
+    core::MedeaConfig cfg =
+        dse::make_design_config(cores, 16, mem::WritePolicy::kWriteBack);
+    cfg.mpmmu.use_cache = use_cache;
+    core::MedeaSystem sys(cfg);
+    apps::JacobiParams p;
+    p.n = 30;
+    p.variant = apps::JacobiVariant::kPureSharedMemory;
+    cycles = apps::run_jacobi(sys, p).cycles_per_iteration;
+  }
+  state.SetLabel(use_cache ? "mpmmu-cache" : "ddr-only");
+  state.counters["cycles_per_iter"] = cycles;
+}
+
+/// DDR latency sensitivity: the slave's memory round trip directly bounds
+/// the miss-dominated region of Fig. 6.
+void BM_DdrLatency(benchmark::State& state) {
+  const auto lat = static_cast<std::uint32_t>(state.range(0));
+  double cycles = 0.0;
+  for (auto _ : state) {
+    core::MedeaConfig cfg =
+        dse::make_design_config(8, 2, mem::WritePolicy::kWriteBack);
+    cfg.mpmmu.ddr.access_latency = lat;
+    core::MedeaSystem sys(cfg);
+    apps::JacobiParams p;
+    p.n = 30;
+    p.variant = apps::JacobiVariant::kHybridMp;  // 2 kB: heavy miss traffic
+    cycles = apps::run_jacobi(sys, p).cycles_per_iteration;
+  }
+  state.counters["ddr_latency"] = lat;
+  state.counters["cycles_per_iter"] = cycles;
+}
+
+/// §IV "MPMMU optimization": pipelined reply streaming, on the workload
+/// it helps most (pure shared memory, read-heavy).
+void BM_PipelinedReplies(benchmark::State& state) {
+  const bool pipelined = state.range(0) != 0;
+  double cycles = 0.0;
+  for (auto _ : state) {
+    core::MedeaConfig cfg =
+        dse::make_design_config(10, 16, mem::WritePolicy::kWriteBack);
+    cfg.mpmmu.pipelined_replies = pipelined;
+    core::MedeaSystem sys(cfg);
+    apps::JacobiParams p;
+    p.n = 30;
+    p.variant = apps::JacobiVariant::kPureSharedMemory;
+    cycles = apps::run_jacobi(sys, p).cycles_per_iteration;
+  }
+  state.SetLabel(pipelined ? "pipelined" : "serial");
+  state.counters["cycles_per_iter"] = cycles;
+}
+
+}  // namespace
+
+BENCHMARK(BM_MpmmuCacheEffect)
+    ->ArgsProduct({{0, 1}, {4, 10}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DdrLatency)->Arg(8)->Arg(24)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelinedReplies)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

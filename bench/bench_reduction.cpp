@@ -1,0 +1,47 @@
+/// Reduction (all-reduce dot product) benchmark — §IV future work
+/// ("porting and execution of standard parallel benchmarks"): the
+/// message-passing combine versus the lock-protected shared-memory
+/// accumulator, across core counts and problem sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/reduction.h"
+#include "core/medea.h"
+#include "dse/sweep.h"
+
+using namespace medea;
+
+namespace {
+
+void BM_Reduction(benchmark::State& state) {
+  const auto variant = static_cast<apps::ReductionVariant>(state.range(0));
+  const int cores = static_cast<int>(state.range(1));
+  const int elements = static_cast<int>(state.range(2));
+  double cycles = 0.0;
+  for (auto _ : state) {
+    core::MedeaSystem sys(
+        dse::make_design_config(cores, 16, mem::WritePolicy::kWriteBack));
+    apps::ReductionParams p;
+    p.elements = elements;
+    p.repeats = 2;
+    p.variant = variant;
+    const auto res = apps::run_reduction(sys, p);
+    cycles = res.cycles_per_round;
+    if (res.abs_error > 1e-9) state.SkipWithError("numerical mismatch");
+  }
+  state.SetLabel(apps::to_string(variant));
+  state.counters["cycles_per_round"] = cycles;
+  state.counters["cores"] = cores;
+  state.counters["elements"] = elements;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Reduction)
+    ->ArgsProduct({{static_cast<int>(apps::ReductionVariant::kMessagePassing),
+                    static_cast<int>(apps::ReductionVariant::kSharedMemory)},
+                   {2, 4, 8, 15},
+                   {256, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/// design_explorer — the paper's methodology in miniature.
+///
+/// Sweeps a user-sized design space (cores x cache x policy), then runs
+/// the paper's §III cost analysis: area model, Pareto pruning and the
+/// Kill rule, printing the optimal-speedup-vs-area curve with the same
+/// "NP_Mk$" labels the paper's Figs. 7/9 use.
+///
+/// Usage: ./examples/design_explorer [grid_n] [max_cores]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dse/pareto.h"
+#include "dse/sweep.h"
+
+using namespace medea;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int max_cores = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  dse::SweepSpec spec;
+  spec.n = n;
+  spec.cores.clear();
+  for (int c = 2; c <= max_cores; ++c) spec.cores.push_back(c);
+  spec.cache_kb = {2, 4, 8, 16, 32};
+
+  std::printf("exploring %zu design points (%dx%d Jacobi)...\n",
+              spec.cores.size() * spec.cache_kb.size() * spec.policies.size(),
+              n, n);
+  const auto points = dse::run_sweep(spec);
+
+  std::printf("\nall points:\n%-14s %10s %12s\n", "config", "area mm2",
+              "cycles/iter");
+  for (const auto& p : points) {
+    std::printf("%-14s %10.2f %12.0f\n", p.label.c_str(), p.area_mm2,
+                p.cycles_per_iteration);
+  }
+
+  const auto frontier = dse::pareto_frontier(dse::to_design_points(points));
+  const double baseline = frontier.front().exec_cycles;
+  const auto curve = dse::speedup_curve(frontier, baseline);
+  const std::size_t knee = dse::kill_rule_knee(frontier);
+
+  std::printf("\nPareto frontier (speedup vs the smallest-area point):\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::printf("  %6.2f mm2  %6.2fx  %-14s%s\n", curve[i].area_mm2,
+                curve[i].speedup, curve[i].label.c_str(),
+                i == knee ? "  <- Kill rule stops here" : "");
+  }
+  return 0;
+}

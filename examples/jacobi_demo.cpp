@@ -1,0 +1,57 @@
+/// jacobi_demo — the paper's benchmark end to end, on one configuration.
+///
+/// Runs the parallel Jacobi solver in all three programming-model
+/// variants on the same machine configuration, verifies each against the
+/// sequential reference, and prints per-variant cycle counts plus the
+/// hardware statistics that explain them (NoC traffic, cache hit rates,
+/// MPMMU transactions).
+///
+/// Usage: ./examples/jacobi_demo [grid_n] [cores] [cache_kb]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/jacobi.h"
+#include "core/medea.h"
+
+using namespace medea;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 8;
+  const auto cache_kb = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16u;
+
+  std::printf("Jacobi %dx%d on %d cores + MPMMU, %u kB WB L1\n\n", n, n, cores,
+              cache_kb);
+  std::printf("%-22s %14s %10s %12s %12s\n", "variant", "cycles/iter",
+              "verified", "NoC flits", "MPMMU txns");
+
+  for (auto variant :
+       {apps::JacobiVariant::kHybridMp, apps::JacobiVariant::kHybridSyncOnly,
+        apps::JacobiVariant::kPureSharedMemory}) {
+    core::MedeaConfig cfg;
+    cfg.num_compute_cores = cores;
+    cfg.l1.size_bytes = cache_kb * 1024;
+
+    core::MedeaSystem sys(cfg);
+    apps::JacobiParams p;
+    p.n = n;
+    p.variant = variant;
+    p.warmup_iterations = 1;
+    p.timed_iterations = 2;
+    p.verify = true;
+
+    const auto res = apps::run_jacobi(sys, p);
+    const auto stats = sys.aggregate_stats();
+    std::printf("%-22s %14.0f %10s %12llu %12llu\n", to_string(variant),
+                res.cycles_per_iteration,
+                res.max_abs_error == 0.0 ? "bit-exact" : "FAILED",
+                static_cast<unsigned long long>(stats.get("noc.flits_delivered")),
+                static_cast<unsigned long long>(stats.get("mpmmu.transactions")));
+  }
+
+  std::printf("\nThe hybrid variant avoids the MPMMU for both data and\n"
+              "synchronization; the gap versus pure shared memory is the\n"
+              "paper's headline result (2x-5x at 60x60).\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+/// medea_cli — run one MEDEA experiment from the command line.
+///
+/// A small front-end over the library for scripting experiments without
+/// writing C++:
+///
+///   medea_cli [options]
+///     --workload=jacobi|reduction     (default jacobi)
+///     --variant=mp|sync-only|sm       (default mp; reduction: mp|sm)
+///     --n=N            grid size / elements      (default 30 / 1024)
+///     --cores=P        compute cores, 1..15      (default 8)
+///     --cache-kb=K     L1 size, power of two     (default 16)
+///     --policy=wb|wt   write policy              (default wb)
+///     --arbiter=mux|single|dual                  (default dual)
+///     --iters=I        timed iterations/rounds   (default 2)
+///     --verify         check against the sequential reference
+///     --stats          dump aggregate hardware statistics
+///
+/// Exit code 0 on success (and verification pass), 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/jacobi.h"
+#include "apps/reduction.h"
+#include "core/medea.h"
+
+using namespace medea;
+
+namespace {
+
+struct Options {
+  std::string workload = "jacobi";
+  std::string variant = "mp";
+  int n = -1;
+  int cores = 8;
+  std::uint32_t cache_kb = 16;
+  mem::WritePolicy policy = mem::WritePolicy::kWriteBack;
+  pe::ArbiterKind arbiter = pe::ArbiterKind::kDualFifo;
+  int iters = 2;
+  bool verify = false;
+  bool stats = false;
+};
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* key) -> const char* {
+      const std::size_t klen = std::strlen(key);
+      if (a.compare(0, klen, key) == 0 && a.size() > klen && a[klen] == '=') {
+        return a.c_str() + klen + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = val("--workload")) {
+      o.workload = v;
+    } else if (const char* v2 = val("--variant")) {
+      o.variant = v2;
+    } else if (const char* v3 = val("--n")) {
+      o.n = std::atoi(v3);
+    } else if (const char* v4 = val("--cores")) {
+      o.cores = std::atoi(v4);
+    } else if (const char* v5 = val("--cache-kb")) {
+      o.cache_kb = static_cast<std::uint32_t>(std::atoi(v5));
+    } else if (const char* v6 = val("--policy")) {
+      o.policy = std::string(v6) == "wt" ? mem::WritePolicy::kWriteThrough
+                                         : mem::WritePolicy::kWriteBack;
+    } else if (const char* v7 = val("--arbiter")) {
+      const std::string s = v7;
+      o.arbiter = s == "mux"      ? pe::ArbiterKind::kMux
+                  : s == "single" ? pe::ArbiterKind::kSingleFifo
+                                  : pe::ArbiterKind::kDualFifo;
+    } else if (const char* v8 = val("--iters")) {
+      o.iters = std::atoi(v8);
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (a == "--stats") {
+      o.stats = true;
+    } else if (a == "--help" || a == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::MedeaSystem make_system(const Options& o) {
+  core::MedeaConfig cfg;
+  cfg.num_compute_cores = o.cores;
+  cfg.l1.size_bytes = o.cache_kb * 1024;
+  cfg.l1.policy = o.policy;
+  cfg.arbiter.kind = o.arbiter;
+  return core::MedeaSystem(cfg);
+}
+
+int run_jacobi_cli(const Options& o) {
+  auto sys = make_system(o);
+  apps::JacobiParams p;
+  p.n = o.n > 0 ? o.n : 30;
+  p.timed_iterations = o.iters;
+  p.verify = o.verify;
+  p.variant = o.variant == "sync-only"
+                  ? apps::JacobiVariant::kHybridSyncOnly
+              : o.variant == "sm" ? apps::JacobiVariant::kPureSharedMemory
+                                  : apps::JacobiVariant::kHybridMp;
+  const auto res = apps::run_jacobi(sys, p);
+  std::printf("jacobi %dx%d %s: %.0f cycles/iteration (total %llu)\n", p.n,
+              p.n, to_string(p.variant), res.cycles_per_iteration,
+              static_cast<unsigned long long>(res.total_cycles));
+  if (o.verify) {
+    std::printf("verification: max |err| = %g -> %s\n", res.max_abs_error,
+                res.max_abs_error == 0.0 ? "bit-exact" : "FAILED");
+    if (res.max_abs_error != 0.0) return 1;
+  }
+  if (o.stats) std::fputs(sys.aggregate_stats().to_string().c_str(), stdout);
+  return 0;
+}
+
+int run_reduction_cli(const Options& o) {
+  auto sys = make_system(o);
+  apps::ReductionParams p;
+  p.elements = o.n > 0 ? o.n : 1024;
+  p.repeats = o.iters;
+  p.variant = o.variant == "sm" ? apps::ReductionVariant::kSharedMemory
+                                : apps::ReductionVariant::kMessagePassing;
+  const auto res = apps::run_reduction(sys, p);
+  std::printf("reduction %d elems %s: %.0f cycles/round, value %.12g "
+              "(ref %.12g, |err| %g)\n",
+              p.elements, to_string(p.variant), res.cycles_per_round,
+              res.value, res.reference, res.abs_error);
+  if (o.stats) std::fputs(sys.aggregate_stats().to_string().c_str(), stdout);
+  return o.verify && res.abs_error > 1e-9 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    std::fprintf(stderr,
+                 "usage: medea_cli [--workload=jacobi|reduction] "
+                 "[--variant=mp|sync-only|sm] [--n=N] [--cores=P] "
+                 "[--cache-kb=K] [--policy=wb|wt] "
+                 "[--arbiter=mux|single|dual] [--iters=I] [--verify] "
+                 "[--stats]\n");
+    return 1;
+  }
+  try {
+    return o.workload == "reduction" ? run_reduction_cli(o)
+                                     : run_jacobi_cli(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,487 @@
+#include "apps/jacobi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "empi/empi.h"
+
+namespace medea::apps {
+
+using mem::Addr;
+using pe::ProcessingElement;
+
+const char* to_string(JacobiVariant v) {
+  switch (v) {
+    case JacobiVariant::kHybridMp: return "hybrid-mp";
+    case JacobiVariant::kHybridSyncOnly: return "hybrid-sync-only";
+    case JacobiVariant::kPureSharedMemory: return "pure-shared-memory";
+  }
+  return "?";
+}
+
+std::vector<RowPartition> partition_rows(int interior_rows, int cores) {
+  assert(interior_rows >= 0 && cores >= 1);
+  std::vector<RowPartition> out(static_cast<std::size_t>(cores));
+  const int base = interior_rows / cores;
+  const int rem = interior_rows % cores;
+  int row = 0;
+  for (int k = 0; k < cores; ++k) {
+    const int take = base + (k < rem ? 1 : 0);
+    out[static_cast<std::size_t>(k)] = RowPartition{row, row + take};
+    row += take;
+  }
+  assert(row == interior_rows);
+  return out;
+}
+
+double jacobi_initial(int i, int j, int n) {
+  if (i == 0 || j == 0 || i == n - 1 || j == n - 1) {
+    return std::sin(0.7 * i) + std::cos(1.3 * j) + 2.0;
+  }
+  return 0.0;
+}
+
+std::vector<double> jacobi_reference(int n, int iterations) {
+  std::vector<double> cur(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      cur[static_cast<std::size_t>(i) * n + j] = jacobi_initial(i, j, n);
+    }
+  }
+  std::vector<double> nxt = cur;
+  for (int it = 0; it < iterations; ++it) {
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        const auto at = [&](int r, int c) {
+          return cur[static_cast<std::size_t>(r) * n + c];
+        };
+        nxt[static_cast<std::size_t>(i) * n + j] =
+            0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1));
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  return cur;
+}
+
+namespace {
+
+/// Everything the per-core coroutines share.  Held by shared_ptr so the
+/// coroutine frames keep it alive for the whole run.
+struct Ctx {
+  JacobiParams p;
+  core::MedeaSystem* sys = nullptr;
+  int n = 0;
+  int cores = 0;
+  int total_iters = 0;
+  std::vector<RowPartition> part;   // interior-row ranges, per rank
+  std::vector<int> up_partner;      // rank owning the rows above (-1)
+  std::vector<int> down_partner;    // rank owning the rows below (-1)
+  std::vector<int> chain_pos;       // position among active ranks (-1)
+  std::vector<int> members;         // node ids (all cores) for barriers
+
+  // Variant A (hybrid MP): per-rank private double-buffered block of the
+  // OWNED rows; halo rows live in the core-local scratchpad where the TIE
+  // receive hardware lands packets (paper Fig. 2-b).
+  std::uint32_t row_bytes = 0;      // n doubles
+
+  // Variants B/C: ping-pong grids in the shared segment.
+  Addr sh[2] = {0, 0};
+  Addr barrier_cnt = 0;
+  Addr barrier_sense = 0;
+
+  sim::Cycle t_start = 0;
+  sim::Cycle t_end = 0;
+
+  int first_global_row(int rank) const { return 1 + part[static_cast<std::size_t>(rank)].start; }
+  int last_global_row(int rank) const { return part[static_cast<std::size_t>(rank)].end; }  // inclusive: 1+end-1
+
+  /// Variant A: address of owned (local_row, col) in buffer `buf` of
+  /// `rank`; local_row in [0, rows).
+  Addr priv(int rank, int buf, int local_row, int col) const {
+    const int rows = part[static_cast<std::size_t>(rank)].rows();
+    const std::uint32_t buf_bytes = static_cast<std::uint32_t>(rows) * row_bytes;
+    return sys->private_addr(
+        rank, static_cast<std::uint32_t>(buf) * buf_bytes +
+                  static_cast<std::uint32_t>(local_row) * row_bytes +
+                  static_cast<std::uint32_t>(col) * 8u);
+  }
+
+  /// Variant A: scratchpad address of the halo rows (up at offset 0,
+  /// down right after), col-indexed like a grid row.
+  Addr halo(int which_down, int col) const {
+    return sys->memory_map().scratchpad_base() +
+           static_cast<Addr>(which_down) * row_bytes +
+           static_cast<Addr>(col) * 8u;
+  }
+
+  /// Variants B/C: address of (row, col) in shared grid `buf`.
+  Addr shared_at(int buf, int row, int col) const {
+    return sh[buf] + static_cast<Addr>(row) * row_bytes +
+           static_cast<Addr>(col) * 8u;
+  }
+};
+
+std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+std::uint32_t hi32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+
+// ---------------------------------------------------------------------
+// Variant A: hybrid, full message passing
+// ---------------------------------------------------------------------
+
+/// Two-phase pairwise halo exchange (even pairs, then odd pairs), which
+/// keeps all pairs concurrent instead of rippling serially down the chain.
+/// Boundary rows stream straight out of the L1 through the TIE port (the
+/// paper's best case) and land in the receiver's scratchpad halo slots by
+/// sequence-number offset, with no software copy loop.
+sim::Task<> halo_exchange_mp(std::shared_ptr<Ctx> cx, ProcessingElement& pe,
+                             int cur) {
+  const int rank = pe.rank();
+  const int rows = cx->part[static_cast<std::size_t>(rank)].rows();
+  const int pos = cx->chain_pos[static_cast<std::size_t>(rank)];
+  const int row_words = 2 * cx->n;  // doubles -> 32-bit words
+  for (int phase = 0; phase < 2; ++phase) {
+    const int down = cx->down_partner[static_cast<std::size_t>(rank)];
+    const int up = cx->up_partner[static_cast<std::size_t>(rank)];
+    if (down >= 0 && pos % 2 == phase) {
+      // I am the lower-position member of this pair: send first.
+      const int peer = cx->sys->node_of_rank(down);
+      co_await pe.mp_send_block(peer, cx->priv(rank, cur, rows - 1, 0),
+                                row_words);
+      co_await pe.mp_recv_block(peer, cx->halo(1, 0), row_words);
+    } else if (up >= 0 &&
+               cx->chain_pos[static_cast<std::size_t>(up)] % 2 == phase) {
+      const int peer = cx->sys->node_of_rank(up);
+      co_await pe.mp_recv_block(peer, cx->halo(0, 0), row_words);
+      co_await pe.mp_send_block(peer, cx->priv(rank, cur, 0, 0), row_words);
+    }
+  }
+}
+
+/// Five-point stencil over the owned rows: buf `cur` -> buf `1-cur`.
+/// Up/down neighbours of the first/last owned row come from the
+/// scratchpad halo slots.
+sim::Task<> compute_block_private(std::shared_ptr<Ctx> cx,
+                                  ProcessingElement& pe, int cur) {
+  const int rank = pe.rank();
+  const int n = cx->n;
+  const int rows = cx->part[static_cast<std::size_t>(rank)].rows();
+  for (int r = 0; r < rows; ++r) {
+    const Addr up_addr0 = r == 0 ? cx->halo(0, 0) : cx->priv(rank, cur, r - 1, 0);
+    const Addr dn_addr0 =
+        r == rows - 1 ? cx->halo(1, 0) : cx->priv(rank, cur, r + 1, 0);
+    for (int c = 1; c <= n - 2; ++c) {
+      auto up = co_await pe.load_double(up_addr0 + static_cast<Addr>(c) * 8u);
+      auto dn = co_await pe.load_double(dn_addr0 + static_cast<Addr>(c) * 8u);
+      auto lf = co_await pe.load_double(cx->priv(rank, cur, r, c - 1));
+      auto rt = co_await pe.load_double(cx->priv(rank, cur, r, c + 1));
+      co_await pe.fp_block(3, 1);
+      co_await pe.compute(kLoopOverheadCycles);
+      const double v = 0.25 * (mem::make_double(lo32(up.value), hi32(up.value)) +
+                               mem::make_double(lo32(dn.value), hi32(dn.value)) +
+                               mem::make_double(lo32(lf.value), hi32(lf.value)) +
+                               mem::make_double(lo32(rt.value), hi32(rt.value)));
+      co_await pe.store_double(cx->priv(rank, 1 - cur, r, c), v);
+    }
+  }
+}
+
+sim::Task<> mp_program(std::shared_ptr<Ctx> cx, ProcessingElement& pe) {
+  const int rank = pe.rank();
+  const int rows = cx->part[static_cast<std::size_t>(rank)].rows();
+  int cur = 0;
+  for (int it = 0; it < cx->total_iters; ++it) {
+    if (it == cx->p.warmup_iterations && rank == 0) cx->t_start = pe.now();
+    if (rows > 0) {
+      co_await halo_exchange_mp(cx, pe, cur);
+      co_await compute_block_private(cx, pe, cur);
+    }
+    cur = 1 - cur;
+    co_await empi::barrier(pe, cx->members);
+    if (it == cx->total_iters - 1 && rank == 0) cx->t_end = pe.now();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Variants B/C: data through shared memory
+// ---------------------------------------------------------------------
+
+/// Semaphore-style barrier in shared memory — the synchronization the
+/// paper's pure-shared-memory baseline uses ("synchronization using
+/// semaphores" backed by the MPMMU lock/unlock protocol).
+///
+/// Arrival increments a lock-protected counter (§II-C critical-section
+/// discipline).  Waiters then spin on a volatile release flag with the
+/// §II-E consumer recipe: DII-invalidate the line, then reload it — every
+/// poll is a fresh block-read transaction at the MPMMU.  With P-1 cores
+/// polling, the memory node is saturated by synchronization traffic;
+/// this is precisely the overhead the paper's §III analysis attributes
+/// the bulk of the hybrid speedup to.
+sim::Task<> sm_barrier(std::shared_ptr<Ctx> cx, ProcessingElement& pe,
+                       int target_sense) {
+  co_await pe.lock(cx->barrier_cnt);
+  auto r = co_await pe.load_uncached(cx->barrier_cnt);
+  const auto count = static_cast<std::uint32_t>(r.value) + 1;
+  if (count == static_cast<std::uint32_t>(cx->cores)) {
+    co_await pe.store_uncached(cx->barrier_cnt, 0);
+    co_await pe.store_uncached(cx->barrier_sense,
+                               static_cast<std::uint32_t>(target_sense));
+    co_await pe.unlock(cx->barrier_cnt);
+  } else {
+    co_await pe.store_uncached(cx->barrier_cnt, count);
+    co_await pe.unlock(cx->barrier_cnt);
+    for (;;) {
+      co_await pe.invalidate_line(cx->barrier_sense);  // DII (§II-E)
+      auto s = co_await pe.load(cx->barrier_sense);    // re-fetch the line
+      if (static_cast<int>(s.value) == target_sense) break;
+      co_await pe.compute(8);  // spin-loop bookkeeping
+    }
+  }
+}
+
+/// Invalidate (DII) every cache line of one shared-grid row.
+sim::Task<> invalidate_row(std::shared_ptr<Ctx> cx, ProcessingElement& pe,
+                           int buf, int row) {
+  const Addr base = cx->shared_at(buf, row, 0);
+  for (std::uint32_t off = 0; off < cx->row_bytes; off += mem::kLineBytes) {
+    co_await pe.invalidate_line(base + off);
+  }
+}
+
+/// Flush (DHWB) every cache line of one shared-grid row.
+sim::Task<> flush_row(std::shared_ptr<Ctx> cx, ProcessingElement& pe, int buf,
+                      int row) {
+  const Addr base = cx->shared_at(buf, row, 0);
+  for (std::uint32_t off = 0; off < cx->row_bytes; off += mem::kLineBytes) {
+    co_await pe.flush_line(base + off);
+  }
+}
+
+sim::Task<> compute_block_shared(std::shared_ptr<Ctx> cx,
+                                 ProcessingElement& pe, int cur) {
+  const int rank = pe.rank();
+  const int n = cx->n;
+  const int g0 = cx->first_global_row(rank);
+  const int g1 = cx->last_global_row(rank);  // inclusive
+  for (int g = g0; g <= g1; ++g) {
+    for (int c = 1; c <= n - 2; ++c) {
+      auto up = co_await pe.load_double(cx->shared_at(cur, g - 1, c));
+      auto dn = co_await pe.load_double(cx->shared_at(cur, g + 1, c));
+      auto lf = co_await pe.load_double(cx->shared_at(cur, g, c - 1));
+      auto rt = co_await pe.load_double(cx->shared_at(cur, g, c + 1));
+      co_await pe.fp_block(3, 1);
+      co_await pe.compute(kLoopOverheadCycles);
+      const double v = 0.25 * (mem::make_double(lo32(up.value), hi32(up.value)) +
+                               mem::make_double(lo32(dn.value), hi32(dn.value)) +
+                               mem::make_double(lo32(lf.value), hi32(lf.value)) +
+                               mem::make_double(lo32(rt.value), hi32(rt.value)));
+      co_await pe.store_double(cx->shared_at(1 - cur, g, c), v);
+    }
+  }
+}
+
+sim::Task<> sm_program(std::shared_ptr<Ctx> cx, ProcessingElement& pe,
+                       bool mp_sync) {
+  const int rank = pe.rank();
+  const int rows = cx->part[static_cast<std::size_t>(rank)].rows();
+  const bool caches_shared = !pe.config().shared_uncached;
+  const bool write_back =
+      pe.config().cache.policy == mem::WritePolicy::kWriteBack;
+  int sense = 0;
+  for (int it = 0; it < cx->total_iters; ++it) {
+    if (it == cx->p.warmup_iterations && rank == 0) cx->t_start = pe.now();
+    const int cur = it % 2;
+    if (rows > 0) {
+      const int g0 = cx->first_global_row(rank);
+      const int g1 = cx->last_global_row(rank);
+      if (caches_shared) {
+        // Consumer side of the §II-E discipline: invalidate stale halo
+        // copies (skip static global-boundary rows — never rewritten).
+        if (g0 - 1 >= 1) co_await invalidate_row(cx, pe, cur, g0 - 1);
+        if (g1 + 1 <= cx->n - 2) co_await invalidate_row(cx, pe, cur, g1 + 1);
+      }
+      co_await compute_block_shared(cx, pe, cur);
+      // Producer side: make my boundary rows visible in system memory.
+      if (caches_shared && write_back) {
+        co_await flush_row(cx, pe, 1 - cur, g0);
+        if (g1 != g0) co_await flush_row(cx, pe, 1 - cur, g1);
+      } else {
+        // WT / uncached stores already travel to memory; wait for them.
+        co_await pe.fence();
+      }
+    }
+    if (mp_sync) {
+      co_await empi::barrier(pe, cx->members);
+    } else {
+      sense = 1 - sense;
+      co_await sm_barrier(cx, pe, sense);
+    }
+    if (it == cx->total_iters - 1 && rank == 0) cx->t_end = pe.now();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+JacobiResult run_jacobi(core::MedeaSystem& sys, const JacobiParams& p) {
+  if (p.n < 4) throw std::invalid_argument("Jacobi grid must be >= 4x4");
+  if (p.timed_iterations < 1) {
+    throw std::invalid_argument("need at least one timed iteration");
+  }
+
+  auto cx = std::make_shared<Ctx>();
+  cx->p = p;
+  cx->sys = &sys;
+  cx->n = p.n;
+  cx->cores = sys.num_cores();
+  cx->total_iters = p.warmup_iterations + p.timed_iterations;
+  cx->part = partition_rows(p.n - 2, cx->cores);
+  cx->members = sys.core_nodes();
+  cx->row_bytes = static_cast<std::uint32_t>(p.n) * 8u;
+
+  // Neighbour chain over ranks that own at least one row.
+  cx->up_partner.assign(static_cast<std::size_t>(cx->cores), -1);
+  cx->down_partner.assign(static_cast<std::size_t>(cx->cores), -1);
+  cx->chain_pos.assign(static_cast<std::size_t>(cx->cores), -1);
+  {
+    int prev = -1;
+    int pos = 0;
+    for (int k = 0; k < cx->cores; ++k) {
+      if (cx->part[static_cast<std::size_t>(k)].rows() == 0) continue;
+      cx->chain_pos[static_cast<std::size_t>(k)] = pos++;
+      if (prev >= 0) {
+        cx->down_partner[static_cast<std::size_t>(prev)] = k;
+        cx->up_partner[static_cast<std::size_t>(k)] = prev;
+      }
+      prev = k;
+    }
+  }
+
+  // ---- memory setup (zero-time backdoor) ----
+  auto& store = sys.memory();
+  const auto init_at = [&](Addr base, int i, int j) {
+    store.write_double(base + static_cast<Addr>(i) * cx->row_bytes +
+                           static_cast<Addr>(j) * 8u,
+                       jacobi_initial(i, j, p.n));
+  };
+
+  if (p.variant == JacobiVariant::kHybridMp) {
+    // Each rank's private double-buffered block of owned rows, plus the
+    // scratchpad halo slots.  Static (global-boundary) halos are filled
+    // once; exchanged halos start empty and are received before first use.
+    for (int k = 0; k < cx->cores; ++k) {
+      const auto& pt = cx->part[static_cast<std::size_t>(k)];
+      if (pt.rows() == 0) continue;
+      for (int buf = 0; buf < 2; ++buf) {
+        for (int lr = 0; lr < pt.rows(); ++lr) {
+          const int g = cx->first_global_row(k) + lr;
+          for (int j = 0; j < p.n; ++j) {
+            store.write_double(cx->priv(k, buf, lr, j),
+                               jacobi_initial(g, j, p.n));
+          }
+        }
+      }
+      auto& pe = sys.core(k);
+      if (cx->up_partner[static_cast<std::size_t>(k)] < 0) {
+        const int g = cx->first_global_row(k) - 1;  // global boundary row
+        for (int j = 0; j < p.n; ++j) {
+          pe.scratch_write_double(cx->halo(0, j), jacobi_initial(g, j, p.n));
+        }
+      }
+      if (cx->down_partner[static_cast<std::size_t>(k)] < 0) {
+        const int g = cx->last_global_row(k) + 1;
+        for (int j = 0; j < p.n; ++j) {
+          pe.scratch_write_double(cx->halo(1, j), jacobi_initial(g, j, p.n));
+        }
+      }
+    }
+  } else {
+    const auto grid_bytes = static_cast<std::uint32_t>(p.n) * cx->row_bytes;
+    cx->sh[0] = sys.alloc_shared(grid_bytes, mem::kLineBytes);
+    cx->sh[1] = sys.alloc_shared(grid_bytes, mem::kLineBytes);
+    cx->barrier_cnt = sys.alloc_shared(mem::kLineBytes, mem::kLineBytes);
+    cx->barrier_sense = cx->barrier_cnt + mem::kWordBytes;
+    for (int buf = 0; buf < 2; ++buf) {
+      for (int i = 0; i < p.n; ++i) {
+        for (int j = 0; j < p.n; ++j) init_at(cx->sh[buf], i, j);
+      }
+    }
+  }
+
+  // ---- programs ----
+  for (int k = 0; k < cx->cores; ++k) {
+    auto& core_pe = sys.core(k);
+    switch (p.variant) {
+      case JacobiVariant::kHybridMp:
+        sys.set_program(k, mp_program(cx, core_pe));
+        break;
+      case JacobiVariant::kHybridSyncOnly:
+        sys.set_program(k, sm_program(cx, core_pe, /*mp_sync=*/true));
+        break;
+      case JacobiVariant::kPureSharedMemory:
+        sys.set_program(k, sm_program(cx, core_pe, /*mp_sync=*/false));
+        break;
+    }
+  }
+
+  const sim::Cycle end_cycle = sys.run(2'000'000'000ull);
+
+  // ---- result extraction ----
+  JacobiResult res;
+  res.cores = cx->cores;
+  res.total_cycles = end_cycle;
+  res.timed_cycles = cx->t_end - cx->t_start;
+  res.cycles_per_iteration =
+      static_cast<double>(res.timed_cycles) / p.timed_iterations;
+
+  sys.flush_all_caches_backdoor();
+  std::vector<double> grid(static_cast<std::size_t>(p.n) * p.n);
+  for (int i = 0; i < p.n; ++i) {
+    for (int j = 0; j < p.n; ++j) {
+      grid[static_cast<std::size_t>(i) * p.n + j] = jacobi_initial(i, j, p.n);
+    }
+  }
+  const int final_buf = cx->total_iters % 2;
+  if (p.variant == JacobiVariant::kHybridMp) {
+    for (int k = 0; k < cx->cores; ++k) {
+      const auto& pt = cx->part[static_cast<std::size_t>(k)];
+      for (int lr = 0; lr < pt.rows(); ++lr) {
+        const int g = cx->first_global_row(k) + lr;
+        for (int j = 0; j < p.n; ++j) {
+          grid[static_cast<std::size_t>(g) * p.n + j] =
+              store.read_double(cx->priv(k, final_buf, lr, j));
+        }
+      }
+    }
+  } else {
+    for (int i = 1; i < p.n - 1; ++i) {
+      for (int j = 1; j < p.n - 1; ++j) {
+        grid[static_cast<std::size_t>(i) * p.n + j] =
+            store.read_double(cx->shared_at(final_buf, i, j));
+      }
+    }
+  }
+
+  for (double v : grid) res.checksum += v;
+
+  if (p.verify) {
+    const auto ref = jacobi_reference(p.n, cx->total_iters);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      max_err = std::max(max_err, std::abs(ref[i] - grid[i]));
+    }
+    res.max_abs_error = max_err;
+    res.verified = true;
+  }
+  return res;
+}
+
+}  // namespace medea::apps

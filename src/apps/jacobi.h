@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "sim/types.h"
+
+/// \file jacobi.h
+/// The paper's benchmark: a parallel Jacobi iterative solver for 2-D
+/// Laplace problems (§III), in the three programming-model variants the
+/// evaluation compares:
+///
+///  * kHybridMp         — "Medea": halo exchange AND synchronization via
+///                        eMPI message passing; each core's block lives in
+///                        its private (cacheable) segment.
+///  * kHybridSyncOnly   — data exchange through shared memory (with the
+///                        §II-E flush/invalidate discipline), barriers via
+///                        eMPI message passing.
+///  * kPureSharedMemory — data through shared memory and a lock-based
+///                        sense-reversing barrier in shared memory; no
+///                        message passing at all.
+///
+/// The grid is n x n doubles with a fixed (Dirichlet) boundary; cores own
+/// contiguous blocks of interior rows.  Because Jacobi reads only
+/// previous-iteration values, every variant computes bit-identical
+/// results, which the verification path exploits.
+///
+/// Cost model of the inner loop (per interior point), following §II-B:
+///   4 double loads (N/S/W/E neighbours), 3 FP adds + 1 FP multiply
+///   (19/26 cycles), 1 double store, plus kLoopOverheadCycles of integer
+///   bookkeeping.
+
+namespace medea::apps {
+
+enum class JacobiVariant : std::uint8_t {
+  kHybridMp,
+  kHybridSyncOnly,
+  kPureSharedMemory,
+};
+
+const char* to_string(JacobiVariant v);
+
+/// Integer loop bookkeeping charged per grid point (index arithmetic,
+/// branch, address generation on a simple in-order RISC core).
+inline constexpr std::uint32_t kLoopOverheadCycles = 8;
+
+struct JacobiParams {
+  int n = 16;               ///< grid dimension (n x n doubles)
+  int warmup_iterations = 1;   ///< cache warm-up, excluded from timing
+  int timed_iterations = 1;
+  JacobiVariant variant = JacobiVariant::kHybridMp;
+  bool verify = false;      ///< compare against the sequential reference
+};
+
+struct JacobiResult {
+  sim::Cycle total_cycles = 0;   ///< whole run, including warm-up
+  sim::Cycle timed_cycles = 0;   ///< the timed iterations only
+  double cycles_per_iteration = 0.0;
+  int cores = 0;
+  double checksum = 0.0;         ///< sum over the final grid
+  double max_abs_error = 0.0;    ///< vs reference (0 unless verify)
+  bool verified = false;
+};
+
+/// Row-block partition: core k owns interior rows [start, end).
+struct RowPartition {
+  int start = 0;
+  int end = 0;
+  int rows() const { return end - start; }
+};
+
+/// Split `interior_rows` across `cores` as evenly as possible (leading
+/// cores take the remainder).  Cores may end up with zero rows when
+/// cores > interior_rows; they still participate in barriers.
+std::vector<RowPartition> partition_rows(int interior_rows, int cores);
+
+/// Initial grid value (deterministic; non-trivial boundary, zero interior).
+double jacobi_initial(int i, int j, int n);
+
+/// Sequential reference: the grid after `iterations` Jacobi steps.
+std::vector<double> jacobi_reference(int n, int iterations);
+
+/// Run the parallel solver on an already-constructed system.  Installs
+/// one program per core, runs to completion and extracts results.
+JacobiResult run_jacobi(core::MedeaSystem& sys, const JacobiParams& p);
+
+}  // namespace medea::apps

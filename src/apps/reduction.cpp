@@ -1,0 +1,216 @@
+#include "apps/reduction.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "empi/empi.h"
+
+namespace medea::apps {
+
+using mem::Addr;
+using pe::ProcessingElement;
+
+const char* to_string(ReductionVariant v) {
+  return v == ReductionVariant::kMessagePassing ? "message-passing"
+                                                : "shared-memory";
+}
+
+double reduction_vec_a(int i) { return 0.5 + 0.001 * (i % 97); }
+double reduction_vec_b(int i) { return 1.0 - 0.002 * (i % 89); }
+
+namespace {
+
+/// Chunk [start, end) of core `rank` (leading cores take the remainder).
+struct Chunk {
+  int start = 0;
+  int end = 0;
+};
+
+Chunk chunk_of(int elements, int cores, int rank) {
+  const int base = elements / cores;
+  const int rem = elements % cores;
+  const int start = rank * base + std::min(rank, rem);
+  return Chunk{start, start + base + (rank < rem ? 1 : 0)};
+}
+
+struct Ctx {
+  ReductionParams p;
+  core::MedeaSystem* sys = nullptr;
+  int cores = 0;
+  std::vector<int> members;
+  Addr acc_lock = 0;   // SM variant: lock word
+  Addr acc_value = 0;  // SM variant: accumulator (2 words)
+  std::vector<double> results;  // per-rank observed value (last round)
+  sim::Cycle t_start = 0;
+  sim::Cycle t_end = 0;
+
+  Addr vec_a(int rank, int local_i) const {
+    return sys->private_addr(rank, static_cast<std::uint32_t>(local_i) * 8u);
+  }
+  Addr vec_b(int rank, int local_i, int local_n) const {
+    return sys->private_addr(
+        rank, static_cast<std::uint32_t>(local_n + local_i) * 8u);
+  }
+};
+
+/// Local partial dot product over the rank's chunk, with the §II-B FP
+/// timing (one multiply + one add per element) plus loop bookkeeping.
+sim::Task<double> local_dot(std::shared_ptr<Ctx> cx, ProcessingElement& pe) {
+  const int rank = pe.rank();
+  const Chunk ch = chunk_of(cx->p.elements, cx->cores, rank);
+  const int local_n = ch.end - ch.start;
+  double acc = 0.0;
+  for (int i = 0; i < local_n; ++i) {
+    auto a = co_await pe.load_double(cx->vec_a(rank, i));
+    auto b = co_await pe.load_double(cx->vec_b(rank, i, local_n));
+    co_await pe.fp_block(1, 1);  // multiply + accumulate
+    co_await pe.compute(4);      // loop bookkeeping
+    acc += mem::make_double(static_cast<std::uint32_t>(a.value),
+                            static_cast<std::uint32_t>(a.value >> 32)) *
+           mem::make_double(static_cast<std::uint32_t>(b.value),
+                            static_cast<std::uint32_t>(b.value >> 32));
+  }
+  co_return acc;
+}
+
+sim::Task<> mp_program(std::shared_ptr<Ctx> cx, ProcessingElement& pe) {
+  const int rank = pe.rank();
+  const int root = cx->sys->node_of_rank(0);
+  if (rank == 0) cx->t_start = pe.now();
+  for (int round = 0; round < cx->p.repeats; ++round) {
+    const double partial = co_await local_dot(cx, pe);
+    double total = partial;
+    if (rank == 0) {
+      // Gather partials in rank order: deterministic FP accumulation.
+      for (int r = 1; r < cx->cores; ++r) {
+        auto vs = co_await empi::receive_doubles(
+            pe, cx->sys->node_of_rank(r), 1);
+        co_await pe.fp_add();
+        total += vs[0];
+      }
+      // Broadcast the result.
+      std::vector<double> msg(1, total);
+      for (int r = 1; r < cx->cores; ++r) {
+        co_await empi::send_doubles(pe, cx->sys->node_of_rank(r), msg);
+      }
+    } else {
+      std::vector<double> msg(1, partial);
+      co_await empi::send_doubles(pe, root, msg);
+      auto vs = co_await empi::receive_doubles(pe, root, 1);
+      total = vs[0];
+    }
+    cx->results[static_cast<std::size_t>(rank)] = total;
+  }
+  if (rank == 0) cx->t_end = pe.now();
+}
+
+sim::Task<> sm_program(std::shared_ptr<Ctx> cx, ProcessingElement& pe) {
+  const int rank = pe.rank();
+  if (rank == 0) cx->t_start = pe.now();
+  for (int round = 0; round < cx->p.repeats; ++round) {
+    const double partial = co_await local_dot(cx, pe);
+    // Add the partial into the global accumulator under the MPMMU lock,
+    // with the §II-E discipline: invalidate before reading (another core
+    // wrote it last), flush after writing (make it visible), and only
+    // then release the lock — flush-before-unlock, exactly as §II-C
+    // prescribes.
+    co_await pe.lock(cx->acc_lock);
+    co_await pe.invalidate_line(cx->acc_value);
+    auto cur = co_await pe.load_double(cx->acc_value);
+    co_await pe.fp_add();
+    const double sum = mem::make_double(static_cast<std::uint32_t>(cur.value),
+                                        static_cast<std::uint32_t>(
+                                            cur.value >> 32)) +
+                       partial;
+    co_await pe.store_double(cx->acc_value, sum);
+    co_await pe.flush_line(cx->acc_value);
+    co_await pe.unlock(cx->acc_lock);
+    // Everyone meets, then reads the total back.
+    co_await empi::barrier(pe, cx->members);
+    co_await pe.invalidate_line(cx->acc_value);
+    auto v = co_await pe.load_double(cx->acc_value);
+    cx->results[static_cast<std::size_t>(rank)] =
+        mem::make_double(static_cast<std::uint32_t>(v.value),
+                         static_cast<std::uint32_t>(v.value >> 32));
+    // Rank 0 resets the accumulator for the next round behind a barrier.
+    co_await empi::barrier(pe, cx->members);
+    if (rank == 0) {
+      co_await pe.store_double(cx->acc_value, 0.0);
+      co_await pe.flush_line(cx->acc_value);
+      co_await pe.fence();
+    }
+    co_await empi::barrier(pe, cx->members);
+  }
+  if (rank == 0) cx->t_end = pe.now();
+}
+
+}  // namespace
+
+double reduction_reference(int elements, int cores) {
+  // Rank-major accumulation mirrors the MP variant's gather order.
+  double total = 0.0;
+  for (int r = 0; r < cores; ++r) {
+    const Chunk ch = chunk_of(elements, cores, r);
+    double partial = 0.0;
+    for (int i = ch.start; i < ch.end; ++i) {
+      partial += reduction_vec_a(i) * reduction_vec_b(i);
+    }
+    total += partial;
+  }
+  return total;
+}
+
+ReductionResult run_reduction(core::MedeaSystem& sys,
+                              const ReductionParams& p) {
+  if (p.elements < sys.num_cores()) {
+    throw std::invalid_argument("reduction: fewer elements than cores");
+  }
+  auto cx = std::make_shared<Ctx>();
+  cx->p = p;
+  cx->sys = &sys;
+  cx->cores = sys.num_cores();
+  cx->members = sys.core_nodes();
+  cx->results.assign(static_cast<std::size_t>(cx->cores), 0.0);
+
+  // Vectors into private segments: [a words][b words] per rank.
+  for (int r = 0; r < cx->cores; ++r) {
+    const Chunk ch = chunk_of(p.elements, cx->cores, r);
+    const int local_n = ch.end - ch.start;
+    for (int i = 0; i < local_n; ++i) {
+      sys.memory().write_double(cx->vec_a(r, i),
+                                reduction_vec_a(ch.start + i));
+      sys.memory().write_double(cx->vec_b(r, i, local_n),
+                                reduction_vec_b(ch.start + i));
+    }
+  }
+  if (p.variant == ReductionVariant::kSharedMemory) {
+    cx->acc_lock = sys.alloc_shared(mem::kLineBytes, mem::kLineBytes);
+    cx->acc_value = sys.alloc_shared(mem::kLineBytes, mem::kLineBytes);
+  }
+
+  for (int r = 0; r < cx->cores; ++r) {
+    sys.set_program(r, p.variant == ReductionVariant::kMessagePassing
+                           ? mp_program(cx, sys.core(r))
+                           : sm_program(cx, sys.core(r)));
+  }
+  const sim::Cycle end = sys.run(2'000'000'000ull);
+
+  ReductionResult res;
+  res.cores = cx->cores;
+  res.total_cycles = end;
+  res.cycles_per_round =
+      static_cast<double>(cx->t_end - cx->t_start) / p.repeats;
+  res.value = cx->results[0];
+  res.reference = reduction_reference(p.elements, cx->cores);
+  res.abs_error = std::abs(res.value - res.reference);
+  // Every rank must have observed the same total.
+  for (double v : cx->results) {
+    if (v != res.value) {
+      throw std::runtime_error("reduction: ranks disagree on the total");
+    }
+  }
+  return res;
+}
+
+}  // namespace medea::apps

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "sim/types.h"
+
+/// \file reduction.h
+/// Second workload: a parallel dot product with a global (all-reduce)
+/// sum — the simplest member of the "standard parallel benchmarks" the
+/// paper lists as future work, and a pure synchronization stress once the
+/// local compute shrinks.
+///
+/// Each core owns a contiguous chunk of two vectors in its private
+/// segment, computes the local partial dot product with real FP timing
+/// (19-cycle adds, 26-cycle multiplies), and then combines partials:
+///
+///  * kMessagePassing — workers send partials to rank 0 over the TIE
+///    port; rank 0 accumulates in rank order and broadcasts the result
+///    (eMPI gather+bcast).
+///  * kSharedMemory   — workers add their partial into a lock-protected
+///    accumulator behind the MPMMU and synchronize with the semaphore
+///    barrier; everyone then reads the result back.
+///
+/// Rank-0 accumulation is deterministic, so the MP variant matches the
+/// host reference bit-exactly.  The SM variant's addition order follows
+/// lock-grant order; the result is compared against the reference with a
+/// tiny tolerance instead.
+
+namespace medea::apps {
+
+enum class ReductionVariant : std::uint8_t { kMessagePassing, kSharedMemory };
+
+const char* to_string(ReductionVariant v);
+
+struct ReductionParams {
+  int elements = 1024;  ///< total vector length (doubles)
+  int repeats = 1;      ///< how many reduce rounds to run (timed)
+  ReductionVariant variant = ReductionVariant::kMessagePassing;
+};
+
+struct ReductionResult {
+  double value = 0.0;       ///< dot product computed by the machine
+  double reference = 0.0;   ///< host-computed reference
+  double abs_error = 0.0;
+  sim::Cycle total_cycles = 0;
+  double cycles_per_round = 0.0;
+  int cores = 0;
+};
+
+/// Deterministic test vectors (element i of a and b).
+double reduction_vec_a(int i);
+double reduction_vec_b(int i);
+
+/// Host reference in rank-major order for `cores` cores.
+double reduction_reference(int elements, int cores);
+
+ReductionResult run_reduction(core::MedeaSystem& sys,
+                              const ReductionParams& p);
+
+}  // namespace medea::apps

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file medea.h
+/// Umbrella header: the full public API of the MEDEA framework.
+///
+/// Quick tour:
+///   core::MedeaConfig / core::MedeaSystem  — configure and build a chip
+///   pe::ProcessingElement                  — per-core operation API
+///   empi::send / receive / barrier         — embedded-MPI primitives
+///   noc::Network / noc::DeflectionRouter   — the folded-torus hot-potato NoC
+///   mpmmu::Mpmmu                           — the shared-memory slave node
+///   mem::Cache / mem::MemoryMap            — L1 model and address map
+///   sim::Scheduler / sim::Task             — the cycle-accurate kernel
+
+#include "core/config.h"    // IWYU pragma: export
+#include "core/system.h"    // IWYU pragma: export
+#include "empi/empi.h"      // IWYU pragma: export
+#include "mem/backing_store.h"  // IWYU pragma: export
+#include "mem/cache.h"      // IWYU pragma: export
+#include "mem/memory_map.h" // IWYU pragma: export
+#include "mpmmu/mpmmu.h"    // IWYU pragma: export
+#include "noc/network.h"    // IWYU pragma: export
+#include "pe/processing_element.h"  // IWYU pragma: export
+#include "sim/scheduler.h"  // IWYU pragma: export
+#include "sim/task.h"       // IWYU pragma: export

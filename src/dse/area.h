@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+
+/// \file area.h
+/// Chip-area model for the paper's cost analysis (§III, Figs. 7 & 9).
+///
+/// The paper estimates area "from core/cache data given by the processor
+/// vendor for a TSMC 65nm CMOS technology and including an overhead for
+/// NoC switches, bridges and routing area of about 100% of the total core
+/// area (excluding caches)".  The vendor numbers are not public, so the
+/// constants below are calibrated to reproduce the paper's axes: the
+/// 11P+16kB point lands near 10 mm² and 15P+32kB near 21 mm² (Fig. 7),
+/// with the 2P_2:8k$ starting point near 2.5 mm².
+///
+/// area = (P+1 cores) * core_logic * (1 + noc_overhead)
+///        + sum(L1 sizes) * per-kB + MPMMU cache * per-kB
+
+namespace medea::dse {
+
+struct AreaModel {
+  double core_logic_mm2 = 0.33;   ///< Xtensa-LX class core, 65 nm
+  double noc_overhead = 1.0;      ///< switch+bridge+routing = 100% of logic
+  double cache_mm2_per_kb = 0.015625;  ///< 0.5 mm² per 32 kB SRAM
+
+  /// Full-chip area of a configuration (compute cores + MPMMU node).
+  double chip_area_mm2(int compute_cores, std::uint32_t l1_bytes,
+                       std::uint32_t mpmmu_cache_bytes) const {
+    const double nodes = static_cast<double>(compute_cores) + 1.0;
+    const double logic = nodes * core_logic_mm2 * (1.0 + noc_overhead);
+    const double l1 = static_cast<double>(compute_cores) *
+                      (static_cast<double>(l1_bytes) / 1024.0) *
+                      cache_mm2_per_kb;
+    const double mpmmu = (static_cast<double>(mpmmu_cache_bytes) / 1024.0) *
+                         cache_mm2_per_kb;
+    return logic + l1 + mpmmu;
+  }
+
+  double chip_area_mm2(const core::MedeaConfig& cfg) const {
+    return chip_area_mm2(cfg.num_compute_cores, cfg.l1.size_bytes,
+                         cfg.mpmmu.cache.size_bytes);
+  }
+};
+
+}  // namespace medea::dse

@@ -1,0 +1,60 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+
+namespace medea::dse {
+
+std::vector<DesignPoint> pareto_frontier(std::vector<DesignPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.area_mm2 != b.area_mm2) return a.area_mm2 < b.area_mm2;
+              return a.exec_cycles < b.exec_cycles;
+            });
+  std::vector<DesignPoint> out;
+  double best = 0.0;
+  bool first = true;
+  for (const auto& p : points) {
+    if (first || p.exec_cycles < best) {
+      out.push_back(p);
+      best = p.exec_cycles;
+      first = false;
+    }
+  }
+  return out;
+}
+
+std::size_t kill_rule_knee(const std::vector<DesignPoint>& frontier) {
+  if (frontier.empty()) return 0;
+  std::size_t knee = 0;
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    const auto& prev = frontier[knee];
+    const auto& cand = frontier[i];
+    // perf = 1/exec_cycles; relative perf gain of the step:
+    const double perf_gain = prev.exec_cycles / cand.exec_cycles - 1.0;
+    const double area_cost = cand.area_mm2 / prev.area_mm2 - 1.0;
+    if (area_cost <= 0.0) {  // same area, better perf: free lunch
+      knee = i;
+      continue;
+    }
+    if (perf_gain >= area_cost) {
+      knee = i;  // at least 1% perf per 1% area: keep growing
+    }
+    // Points beyond a failed step can still satisfy the rule relative to
+    // the current knee (the rule is about where growth stops paying off),
+    // so we keep scanning rather than break.
+  }
+  return knee;
+}
+
+std::vector<SpeedupPoint> speedup_curve(
+    const std::vector<DesignPoint>& frontier, double baseline_cycles) {
+  std::vector<SpeedupPoint> out;
+  out.reserve(frontier.size());
+  for (const auto& p : frontier) {
+    out.push_back(SpeedupPoint{p.area_mm2, baseline_cycles / p.exec_cycles,
+                               p.label});
+  }
+  return out;
+}
+
+}  // namespace medea::dse

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file pareto.h
+/// Pareto pruning and the "Kill rule" (Agarwal et al., DAC 2007) used by
+/// the paper to pick area-efficient configurations: grow a resource only
+/// if every 1% of core-area increase buys at least 1% of performance.
+
+namespace medea::dse {
+
+/// One evaluated design point.
+struct DesignPoint {
+  double area_mm2 = 0.0;
+  double exec_cycles = 0.0;  ///< lower is better
+  std::string label;
+};
+
+/// Area-ascending Pareto frontier: every kept point is strictly faster
+/// than all cheaper kept points.  Among equal-area points the fastest
+/// survives.  Input order is not assumed sorted.
+std::vector<DesignPoint> pareto_frontier(std::vector<DesignPoint> points);
+
+/// Apply the Kill rule along an area-ascending frontier: walking from the
+/// cheapest point, keep a step to a bigger configuration only while
+/// (Δperf / perf) >= (Δarea / area).  Returns the index (into `frontier`)
+/// of the last point that still satisfies the rule — the paper's "upper
+/// knee" (11 processors with 16 kB caches in Fig. 7).
+std::size_t kill_rule_knee(const std::vector<DesignPoint>& frontier);
+
+/// Speedup curve: frontier annotated with exec-time ratios against a
+/// baseline cycle count (the paper uses the smallest-area configuration).
+struct SpeedupPoint {
+  double area_mm2 = 0.0;
+  double speedup = 0.0;
+  std::string label;
+};
+std::vector<SpeedupPoint> speedup_curve(const std::vector<DesignPoint>& frontier,
+                                        double baseline_cycles);
+
+}  // namespace medea::dse

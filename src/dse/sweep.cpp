@@ -1,0 +1,98 @@
+#include "dse/sweep.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "core/system.h"
+
+namespace medea::dse {
+
+core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
+                                     mem::WritePolicy policy) {
+  core::MedeaConfig cfg;
+  cfg.noc_width = 4;
+  cfg.noc_height = 4;
+  cfg.num_compute_cores = cores;
+  cfg.mpmmu_node = 0;
+  cfg.l1.size_bytes = cache_kb * 1024;
+  cfg.l1.policy = policy;
+  return cfg;
+}
+
+SweepPoint run_design_point(const SweepSpec& spec, int cores,
+                            std::uint32_t cache_kb, mem::WritePolicy policy) {
+  core::MedeaConfig cfg = make_design_config(cores, cache_kb, policy);
+  core::MedeaSystem sys(cfg);
+
+  apps::JacobiParams jp;
+  jp.n = spec.n;
+  jp.warmup_iterations = spec.warmup_iterations;
+  jp.timed_iterations = spec.timed_iterations;
+  jp.variant = spec.variant;
+  const auto res = apps::run_jacobi(sys, jp);
+
+  SweepPoint pt;
+  pt.cores = cores;
+  pt.cache_kb = cache_kb;
+  pt.policy = policy;
+  pt.variant = spec.variant;
+  pt.cycles_per_iteration = res.cycles_per_iteration;
+  pt.area_mm2 = spec.area.chip_area_mm2(cfg);
+  std::ostringstream label;
+  label << cores << "P_" << cache_kb << "k$_" << mem::to_string(policy);
+  pt.label = label.str();
+  return pt;
+}
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  struct Job {
+    int cores;
+    std::uint32_t cache_kb;
+    mem::WritePolicy policy;
+  };
+  std::vector<Job> jobs;
+  for (int c : spec.cores) {
+    for (auto kb : spec.cache_kb) {
+      for (auto pol : spec.policies) jobs.push_back({c, kb, pol});
+    }
+  }
+  std::vector<SweepPoint> out(jobs.size());
+
+  int threads = spec.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(jobs.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      const Job& j = jobs[i];
+      out[i] = run_design_point(spec, j.cores, j.cache_kb, j.policy);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return out;
+}
+
+std::vector<DesignPoint> to_design_points(const std::vector<SweepPoint>& pts) {
+  std::vector<DesignPoint> out;
+  out.reserve(pts.size());
+  for (const auto& p : pts) {
+    out.push_back(DesignPoint{p.area_mm2, p.cycles_per_iteration, p.label});
+  }
+  return out;
+}
+
+}  // namespace medea::dse

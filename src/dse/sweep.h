@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.h"
+#include "core/config.h"
+#include "dse/area.h"
+#include "dse/pareto.h"
+
+/// \file sweep.h
+/// Design-space exploration driver (paper §III).
+///
+/// The paper evaluates 168 design points per data size: compute cores 2
+/// to 15 (plus the MPMMU, 16 nodes on the 4x4 folded torus), L1 cache
+/// 2..64 kB in powers of two, Write-Back and Write-Through.  This driver
+/// enumerates that space (or any sub-space), runs the Jacobi workload on
+/// each point, attaches chip area from the AreaModel, and feeds the
+/// Pareto/Kill-rule analysis that produces Figs. 7 and 9.
+///
+/// Points are independent simulations and can run on multiple host
+/// threads (the paper used 5 dual-Xeon servers for a day; we aim for
+/// minutes on one machine).
+
+namespace medea::dse {
+
+struct SweepSpec {
+  int n = 60;  ///< Jacobi grid size
+  std::vector<int> cores = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  std::vector<std::uint32_t> cache_kb = {2, 4, 8, 16, 32, 64};
+  std::vector<mem::WritePolicy> policies = {mem::WritePolicy::kWriteBack,
+                                            mem::WritePolicy::kWriteThrough};
+  apps::JacobiVariant variant = apps::JacobiVariant::kHybridMp;
+  int warmup_iterations = 1;
+  int timed_iterations = 1;
+  int threads = 0;  ///< 0 = hardware concurrency
+  AreaModel area{};
+};
+
+struct SweepPoint {
+  int cores = 0;
+  std::uint32_t cache_kb = 0;
+  mem::WritePolicy policy = mem::WritePolicy::kWriteBack;
+  apps::JacobiVariant variant = apps::JacobiVariant::kHybridMp;
+  double cycles_per_iteration = 0.0;
+  double area_mm2 = 0.0;
+  std::string label;  ///< e.g. "11P_16k$_WB"
+};
+
+/// Build the MedeaConfig for one design point (shared by sweeps, tests
+/// and benches so everyone simulates the same machine).
+core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
+                                     mem::WritePolicy policy);
+
+/// Run one design point.
+SweepPoint run_design_point(const SweepSpec& spec, int cores,
+                            std::uint32_t cache_kb, mem::WritePolicy policy);
+
+/// Run the full cross product (optionally multi-threaded).  Result order
+/// is deterministic (cores-major, then cache, then policy).
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
+
+/// Convert sweep results to design points for Pareto analysis.
+std::vector<DesignPoint> to_design_points(const std::vector<SweepPoint>& pts);
+
+}  // namespace medea::dse

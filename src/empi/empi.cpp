@@ -1,0 +1,93 @@
+#include "empi/empi.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace medea::empi {
+
+using pe::kMaxMpPacketWords;
+using pe::ProcessingElement;
+
+sim::Task<> send(ProcessingElement& self, int dst_node,
+                 std::vector<std::uint32_t> words) {
+  if (words.empty()) words.push_back(0);  // header-only token
+  for (std::size_t off = 0; off < words.size();
+       off += static_cast<std::size_t>(kMaxMpPacketWords)) {
+    const auto n = std::min<std::size_t>(
+        static_cast<std::size_t>(kMaxMpPacketWords), words.size() - off);
+    std::vector<std::uint32_t> frag(words.begin() + static_cast<long>(off),
+                                    words.begin() + static_cast<long>(off + n));
+    co_await self.mp_send(dst_node, std::move(frag));
+  }
+}
+
+sim::Task<std::vector<std::uint32_t>> receive(ProcessingElement& self,
+                                              int src_node, int n_words) {
+  if (n_words < 0) throw std::invalid_argument("empi::receive: n_words < 0");
+  const int expected = n_words == 0 ? 1 : n_words;  // empty => one token
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(expected));
+  while (static_cast<int>(out.size()) < expected) {
+    auto r = co_await self.mp_recv(src_node);
+    out.insert(out.end(), r.words.begin(), r.words.end());
+  }
+  if (static_cast<int>(out.size()) != expected) {
+    throw std::runtime_error("empi::receive: message size mismatch");
+  }
+  if (n_words == 0) out.clear();
+  co_return out;
+}
+
+sim::Task<> send_doubles(ProcessingElement& self, int dst_node,
+                         const std::vector<double>& values) {
+  std::vector<std::uint32_t> words;
+  words.reserve(values.size() * 2);
+  for (double v : values) {
+    words.push_back(mem::double_lo(v));
+    words.push_back(mem::double_hi(v));
+  }
+  co_await send(self, dst_node, std::move(words));
+}
+
+sim::Task<std::vector<double>> receive_doubles(ProcessingElement& self,
+                                               int src_node, int n_values) {
+  auto words = co_await receive(self, src_node, n_values * 2);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n_values));
+  for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
+    out.push_back(mem::make_double(words[i], words[i + 1]));
+  }
+  co_return out;
+}
+
+sim::Task<> barrier(ProcessingElement& self, const std::vector<int>& members) {
+  // Note: plain assert() inside a coroutine trips a GCC 12 bug
+  // ("array used as initializer" from __PRETTY_FUNCTION__), so throw.
+  if (members.empty()) {
+    throw std::invalid_argument("empi::barrier: empty membership");
+  }
+  const int master = *std::min_element(members.begin(), members.end());
+  // Built without a braced initializer list and outside the co_await
+  // expressions: GCC 12 mishandles initializer_list backing arrays in
+  // coroutine frames (compile error in co_await operands, miscompiled
+  // code for locals at -O2).
+  const std::vector<std::uint32_t> token(1, 0xBA44u);
+  if (self.node_id() == master) {
+    // Gather: one token from every other member, in node-id order.  The
+    // TIE landing area buffers early arrivals, so a fixed order is fine.
+    for (int m : members) {
+      if (m == master) continue;
+      co_await self.mp_recv(m);
+    }
+    // Release broadcast.
+    for (int m : members) {
+      if (m == master) continue;
+      co_await self.mp_send(m, token);
+    }
+  } else {
+    co_await self.mp_send(master, token);
+    co_await self.mp_recv(master);
+  }
+}
+
+}  // namespace medea::empi

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_map.h"
+#include "pe/processing_element.h"
+#include "sim/task.h"
+
+/// \file empi.h
+/// embedded-MPI (eMPI): the paper's MPI subset over the TIE port (§II-E).
+///
+/// "With just three basic primitives, MPI_send(), MPI_receive() and
+///  MPI_barrier() for synchronization, a direct communication between
+///  cores is possible totally avoiding in some cases the access to the
+///  global-memory."
+///
+/// The hardware logic packet carries at most four 32-bit words (2-bit
+/// BURST field), so eMPI fragments longer messages into a stream of logic
+/// packets and reassembles them at the receiver; flit sequence numbers and
+/// the TIE landing-area slots keep each fragment intact, and per-peer
+/// in-order delivery keeps the stream intact.
+///
+/// Ranks used by this API are *node ids* (each PE's position on the NoC);
+/// the application layer maps its own rank numbering onto node ids.
+///
+/// All primitives are coroutines running on the calling PE and consume
+/// simulated time exactly as the hardware would (one flit per cycle
+/// through the TIE port, real NoC traversal, real blocking).
+
+namespace medea::empi {
+
+/// Send `words` to dst_node.  Blocks (in simulated time) until every flit
+/// has left the TIE port; fragments of 4 words ride separate logic
+/// packets.  An empty message sends one header-only packet of one word.
+sim::Task<> send(pe::ProcessingElement& self, int dst_node,
+                 std::vector<std::uint32_t> words);
+
+/// Receive a message of exactly `n_words` from src_node (blocking).
+sim::Task<std::vector<std::uint32_t>> receive(pe::ProcessingElement& self,
+                                              int src_node, int n_words);
+
+/// Convenience: doubles are carried as two words each.
+sim::Task<> send_doubles(pe::ProcessingElement& self, int dst_node,
+                         const std::vector<double>& values);
+sim::Task<std::vector<double>> receive_doubles(pe::ProcessingElement& self,
+                                               int src_node, int n_values);
+
+/// Barrier across `members` (node ids, which must include self).  The
+/// lowest node id acts as master: it gathers one token from every other
+/// member, then broadcasts the release.  Pure message passing — no
+/// shared-memory traffic at all, which is the crux of the paper's hybrid
+/// speedup.
+sim::Task<> barrier(pe::ProcessingElement& self,
+                    const std::vector<int>& members);
+
+}  // namespace medea::empi

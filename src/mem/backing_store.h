@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/memory_map.h"
+
+/// \file backing_store.h
+/// Functional model of the external DDR storage array.
+///
+/// Pure state, no timing: the MPMMU model adds DDR service latency.  The
+/// store is sparse (page-granular) so a full 32-bit address space costs
+/// only what is actually touched.  Untouched memory reads as zero, which
+/// tests rely on for deterministic cold-start contents.
+
+namespace medea::mem {
+
+class BackingStore {
+ public:
+  static constexpr std::uint32_t kPageWords = 1024;  // 4 KiB pages
+
+  std::uint32_t read_word(Addr addr) const {
+    const Addr w = addr / kWordBytes;
+    auto it = pages_.find(w / kPageWords);
+    if (it == pages_.end()) return 0;
+    return it->second[w % kPageWords];
+  }
+
+  void write_word(Addr addr, std::uint32_t value) {
+    const Addr w = addr / kWordBytes;
+    page(w / kPageWords)[w % kPageWords] = value;
+  }
+
+  /// Whole-line helpers (16 bytes = 4 words), used by block transfers.
+  std::array<std::uint32_t, kWordsPerLine> read_line(Addr addr) const {
+    const Addr base = line_align(addr);
+    std::array<std::uint32_t, kWordsPerLine> line{};
+    for (int i = 0; i < kWordsPerLine; ++i) {
+      line[static_cast<std::size_t>(i)] =
+          read_word(base + static_cast<Addr>(i) * kWordBytes);
+    }
+    return line;
+  }
+
+  void write_line(Addr addr,
+                  const std::array<std::uint32_t, kWordsPerLine>& line) {
+    const Addr base = line_align(addr);
+    for (int i = 0; i < kWordsPerLine; ++i) {
+      write_word(base + static_cast<Addr>(i) * kWordBytes,
+                 line[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  /// Convenience accessors used by workload setup/checking code (these
+  /// are "backdoor" accesses with no timing and no cache interaction).
+  double read_double(Addr addr) const {
+    return make_double(read_word(addr), read_word(addr + kWordBytes));
+  }
+  void write_double(Addr addr, double d) {
+    write_word(addr, double_lo(d));
+    write_word(addr + kWordBytes, double_hi(d));
+  }
+
+  std::size_t touched_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint32_t, kPageWords>;
+
+  Page& page(Addr page_index) {
+    auto it = pages_.find(page_index);
+    if (it == pages_.end()) it = pages_.emplace(page_index, Page{}).first;
+    return it->second;
+  }
+
+  std::unordered_map<Addr, Page> pages_;
+};
+
+}  // namespace medea::mem

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file ddr.h
+/// Timing parameters of the external DDR memory behind the MPMMU.
+///
+/// The paper attaches the MPMMU to a DDR controller over a PIF bus and
+/// keeps a local cache inside the MPMMU so that "the latency of read
+/// operations strongly depends on the availability of the given word
+/// inside the cache".  We model the controller as a fixed-latency,
+/// burst-capable device: an access pays `access_latency` cycles for the
+/// first word and `per_word_latency` for each additional word of a burst.
+
+namespace medea::mem {
+
+struct DdrConfig {
+  std::uint32_t access_latency = 48;   ///< cycles to first word
+  std::uint32_t per_word_latency = 4;  ///< additional cycles per burst word
+
+  std::uint32_t burst_cycles(int words) const {
+    return access_latency +
+           per_word_latency * static_cast<std::uint32_t>(words > 0 ? words - 1 : 0);
+  }
+};
+
+}  // namespace medea::mem

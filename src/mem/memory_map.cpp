@@ -1,0 +1,23 @@
+#include "mem/memory_map.h"
+
+#include <bit>
+
+namespace medea::mem {
+
+std::uint32_t double_lo(double d) {
+  const auto bits = std::bit_cast<std::uint64_t>(d);
+  return static_cast<std::uint32_t>(bits & 0xffff'ffffull);
+}
+
+std::uint32_t double_hi(double d) {
+  const auto bits = std::bit_cast<std::uint64_t>(d);
+  return static_cast<std::uint32_t>(bits >> 32);
+}
+
+double make_double(std::uint32_t lo, std::uint32_t hi) {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace medea::mem

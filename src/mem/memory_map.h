@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+/// \file memory_map.h
+/// Global physical address map of a MEDEA system (paper §II-C, §II-E).
+///
+/// The global shared memory behind the MPMMU is divided into two logic
+/// segments: a private area (one segment per core, cacheable without any
+/// coherence actions because only its owner touches it) and one shared
+/// area (cacheable only under the software-managed flush/invalidate
+/// discipline, or accessed uncached).
+///
+/// Layout used by this implementation (word-aligned, 32-bit addresses):
+///
+///   [0x0000'0000 ..)                      private segment of core 0
+///   [k * private_size ..)                 private segment of core k
+///   [kSharedBase .. kSharedBase + size)   shared segment
+///
+/// Addresses are byte addresses; the memory word is 32 bits and the cache
+/// line is 16 bytes (4 words), matching the paper's configuration.
+
+namespace medea::mem {
+
+using Addr = std::uint32_t;
+
+inline constexpr Addr kWordBytes = 4;
+inline constexpr Addr kLineBytes = 16;
+inline constexpr int kWordsPerLine = kLineBytes / kWordBytes;
+
+inline constexpr Addr word_align(Addr a) { return a & ~(kWordBytes - 1); }
+inline constexpr Addr line_align(Addr a) { return a & ~(kLineBytes - 1); }
+inline constexpr int word_in_line(Addr a) {
+  return static_cast<int>((a & (kLineBytes - 1)) / kWordBytes);
+}
+
+struct MemoryMapConfig {
+  Addr private_segment_size = 1u << 20;  ///< 1 MiB per core
+  Addr shared_base = 0x8000'0000u;
+  Addr shared_size = 16u << 20;  ///< 16 MiB shared segment
+  /// Core-local data RAM (Xtensa-style local memory; paper Fig. 2-b puts
+  /// the message-passing packet landing segments here).  Each core sees
+  /// its own physical RAM at the same address window; accesses are
+  /// single-cycle and never touch the cache or the NoC.
+  Addr scratchpad_base = 0xF000'0000u;
+  Addr scratchpad_size = 128u << 10;  ///< 128 kB local data RAM
+  int num_cores = 1;
+};
+
+/// Address-space layout helper shared by cores, bridges and the MPMMU.
+class MemoryMap {
+ public:
+  explicit MemoryMap(const MemoryMapConfig& cfg) : cfg_(cfg) {
+    assert(cfg.num_cores >= 1);
+    assert(static_cast<std::uint64_t>(cfg.num_cores) *
+               cfg.private_segment_size <=
+           cfg.shared_base);
+  }
+
+  const MemoryMapConfig& config() const { return cfg_; }
+
+  Addr private_base(int core) const {
+    assert(core >= 0 && core < cfg_.num_cores);
+    return static_cast<Addr>(core) * cfg_.private_segment_size;
+  }
+  Addr private_size() const { return cfg_.private_segment_size; }
+
+  Addr shared_base() const { return cfg_.shared_base; }
+  Addr shared_size() const { return cfg_.shared_size; }
+
+  bool is_private(Addr a) const {
+    return a < static_cast<std::uint64_t>(cfg_.num_cores) *
+                   cfg_.private_segment_size;
+  }
+  bool is_private_of(Addr a, int core) const {
+    return a >= private_base(core) &&
+           a < private_base(core) + cfg_.private_segment_size;
+  }
+  bool is_shared(Addr a) const {
+    return a >= cfg_.shared_base && a - cfg_.shared_base < cfg_.shared_size;
+  }
+  /// Core-local data RAM window (same range on every core).
+  bool is_scratchpad(Addr a) const {
+    return a >= cfg_.scratchpad_base &&
+           a - cfg_.scratchpad_base < cfg_.scratchpad_size;
+  }
+  Addr scratchpad_base() const { return cfg_.scratchpad_base; }
+  Addr scratchpad_size() const { return cfg_.scratchpad_size; }
+  bool is_mapped(Addr a) const {
+    return is_private(a) || is_shared(a) || is_scratchpad(a);
+  }
+
+  /// Owning core of a private address (-1 for shared/unmapped).
+  int private_owner(Addr a) const {
+    if (!is_private(a)) return -1;
+    return static_cast<int>(a / cfg_.private_segment_size);
+  }
+
+ private:
+  MemoryMapConfig cfg_;
+};
+
+/// 64-bit IEEE double <-> two 32-bit memory words (little-endian order:
+/// low word at the lower address), the layout the 32-bit Xtensa ABI uses.
+std::uint32_t double_lo(double d);
+std::uint32_t double_hi(double d);
+double make_double(std::uint32_t lo, std::uint32_t hi);
+
+}  // namespace medea::mem

@@ -1,0 +1,98 @@
+#include "noc/flit.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace medea::noc {
+
+const char* to_string(FlitType t) {
+  switch (t) {
+    case FlitType::kSingleRead: return "SingleRead";
+    case FlitType::kSingleWrite: return "SingleWrite";
+    case FlitType::kBlockRead: return "BlockRead";
+    case FlitType::kBlockWrite: return "BlockWrite";
+    case FlitType::kLock: return "Lock";
+    case FlitType::kUnlock: return "Unlock";
+    case FlitType::kMessage: return "Message";
+  }
+  return "?";
+}
+
+const char* to_string(FlitSubType t) {
+  switch (t) {
+    case FlitSubType::kAck: return "Ack";
+    case FlitSubType::kNack: return "Nack";
+    case FlitSubType::kAddress: return "Address";
+    case FlitSubType::kData: return "Data";
+  }
+  return "?";
+}
+
+std::string Flit::to_string() const {
+  std::ostringstream os;
+  os << "Flit{uid=" << uid << " dst=" << dst.to_string() << " "
+     << noc::to_string(type) << "/" << noc::to_string(subtype)
+     << " seq=" << int(seq_num) << " burst=" << int(burst_size)
+     << " src=" << int(src_id) << " data=0x" << std::hex << data << std::dec
+     << " hops=" << hops << " defl=" << deflections << "}";
+  return os.str();
+}
+
+namespace {
+
+// Little-endian bit packing helper: appends `bits` bits of `value` at
+// position `*pos` and advances it.
+void put_bits(std::uint64_t& word, int& pos, std::uint64_t value, int bits) {
+  assert(bits > 0 && bits <= 64);
+  assert(pos + bits <= 64);
+  const std::uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
+  assert((value & ~mask) == 0 && "field value wider than its wire slot");
+  word |= (value & mask) << pos;
+  pos += bits;
+}
+
+std::uint64_t get_bits(std::uint64_t word, int& pos, int bits) {
+  const std::uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
+  const std::uint64_t v = (word >> pos) & mask;
+  pos += bits;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t encode_flit(const Flit& f, int coord_bits) {
+  std::uint64_t w = 0;
+  int pos = 0;
+  put_bits(w, pos, f.valid ? 1 : 0, FlitFormat::kValidBits);
+  put_bits(w, pos, f.dst.x, coord_bits);
+  put_bits(w, pos, f.dst.y, coord_bits);
+  put_bits(w, pos, static_cast<std::uint64_t>(f.type), FlitFormat::kTypeBits);
+  put_bits(w, pos, static_cast<std::uint64_t>(f.subtype),
+           FlitFormat::kSubTypeBits);
+  put_bits(w, pos, f.seq_num, FlitFormat::kSeqNumBits);
+  put_bits(w, pos, f.burst_size, FlitFormat::kBurstBits);
+  put_bits(w, pos, f.src_id, FlitFormat::kSrcIdBits);
+  put_bits(w, pos, f.data, FlitFormat::kDataBits);
+  return w;
+}
+
+Flit decode_flit(std::uint64_t word, int coord_bits) {
+  Flit f;
+  int pos = 0;
+  f.valid = get_bits(word, pos, FlitFormat::kValidBits) != 0;
+  f.dst.x = static_cast<std::uint8_t>(get_bits(word, pos, coord_bits));
+  f.dst.y = static_cast<std::uint8_t>(get_bits(word, pos, coord_bits));
+  f.type = static_cast<FlitType>(get_bits(word, pos, FlitFormat::kTypeBits));
+  f.subtype =
+      static_cast<FlitSubType>(get_bits(word, pos, FlitFormat::kSubTypeBits));
+  f.seq_num =
+      static_cast<std::uint8_t>(get_bits(word, pos, FlitFormat::kSeqNumBits));
+  f.burst_size =
+      static_cast<std::uint8_t>(get_bits(word, pos, FlitFormat::kBurstBits));
+  f.src_id =
+      static_cast<std::uint8_t>(get_bits(word, pos, FlitFormat::kSrcIdBits));
+  f.data = static_cast<std::uint32_t>(get_bits(word, pos, FlitFormat::kDataBits));
+  return f;
+}
+
+}  // namespace medea::noc

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "noc/coord.h"
+#include "sim/types.h"
+
+/// \file flit.h
+/// The MEDEA flit and the bit-exact three-level packet format of Fig. 5.
+///
+/// The paper stacks three protocol levels inside one 64-bit flit:
+///
+///   level 1 (network):     V(1) X(2) Y(2)            — used by switches
+///   level 2 (bridge):      TYPE(3) SUBTYPE(2) SEQNUM(4)
+///   level 3 (application): BURST(2) SRCID(4) DATA(32)
+///
+/// Total 50 bits of payload+header packed into a 64-bit flit (the RTL
+/// leaves the remaining bits unused; widths for X/Y grow with network
+/// size — 2 bits per coordinate suffice for the paper's 4x4 folded torus).
+///
+/// The simulator carries a decoded struct for speed but provides
+/// encode()/decode() so tests can guarantee the struct stays faithful to
+/// the wire format (everything the model does is expressible in the RTL
+/// encoding; simulation-only metadata such as inject timestamps is kept
+/// outside the encoded fields).
+
+namespace medea::noc {
+
+/// Level-2 TYPE field (3 bits): the seven packet types of §II-D.
+enum class FlitType : std::uint8_t {
+  kSingleRead = 0,
+  kSingleWrite = 1,
+  kBlockRead = 2,
+  kBlockWrite = 3,
+  kLock = 4,
+  kUnlock = 5,
+  kMessage = 6,
+};
+
+/// Level-2 SUBTYPE field (2 bits).
+/// For shared-memory transactions: Ack / Nack / Address / Data.
+/// For message-passing flits the same encoding distinguishes requests
+/// from generic data packets (paper §II-D): kMpRequest aliases kAddress,
+/// kMpData aliases kData.
+enum class FlitSubType : std::uint8_t {
+  kAck = 0,
+  kNack = 1,
+  kAddress = 2,
+  kData = 3,
+};
+
+inline constexpr FlitSubType kMpRequest = FlitSubType::kAddress;
+inline constexpr FlitSubType kMpData = FlitSubType::kData;
+
+const char* to_string(FlitType t);
+const char* to_string(FlitSubType t);
+
+/// Field widths of the wire format (Fig. 5).
+struct FlitFormat {
+  static constexpr int kValidBits = 1;
+  static constexpr int kCoordBits = 2;   // per coordinate, 4x4 torus
+  static constexpr int kTypeBits = 3;
+  static constexpr int kSubTypeBits = 2;
+  static constexpr int kSeqNumBits = 4;
+  static constexpr int kBurstBits = 2;
+  static constexpr int kSrcIdBits = 4;
+  static constexpr int kDataBits = 32;
+};
+
+/// Maximum flits per logic packet, limited by the SEQNUM field width.
+inline constexpr int kMaxPacketFlits = 1 << FlitFormat::kSeqNumBits;
+
+/// One 64-bit flit, decoded.
+struct Flit {
+  // --- encoded fields (Fig. 5) ---
+  bool valid = false;
+  Coord dst{};                       // level-1 X, Y
+  FlitType type = FlitType::kMessage;
+  FlitSubType subtype = FlitSubType::kData;
+  std::uint8_t seq_num = 0;          // 4 bits: offset within logic packet
+  std::uint8_t burst_size = 0;       // 2 bits: flits in this logic packet - 1
+  std::uint8_t src_id = 0;           // 4 bits: source node id
+  std::uint32_t data = 0;            // 32-bit payload (address or data word)
+
+  // --- simulation-only metadata (not on the wire) ---
+  sim::Cycle inject_cycle = 0;       // when the flit entered the network
+  std::uint32_t uid = 0;             // unique id for tracing/debug
+  std::uint16_t hops = 0;            // link traversals so far
+  std::uint16_t deflections = 0;     // unproductive hops so far
+
+  std::string to_string() const;
+};
+
+/// Pack the wire-visible fields of a flit into a 64-bit word.
+/// Coordinates wider than FlitFormat::kCoordBits bits require the wide
+/// encoding (see encode_flit_wide); the default matches the paper's 4x4.
+std::uint64_t encode_flit(const Flit& f, int coord_bits = FlitFormat::kCoordBits);
+
+/// Inverse of encode_flit.  Simulation metadata comes back zeroed.
+Flit decode_flit(std::uint64_t word, int coord_bits = FlitFormat::kCoordBits);
+
+}  // namespace medea::noc

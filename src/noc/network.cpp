@@ -1,0 +1,49 @@
+#include "noc/network.h"
+
+namespace medea::noc {
+
+namespace {
+/// See the header comment: capacity 2 is a kernel bookkeeping allowance,
+/// not extra buffering; steady-state link occupancy is <= 1 flit.
+constexpr std::size_t kLinkCapacity = 2;
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kSouth: return Dir::kNorth;
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kWest: return Dir::kEast;
+  }
+  return d;
+}
+}  // namespace
+
+Network::Network(sim::Scheduler& sched, const TorusGeometry& geom,
+                 const RouterConfig& cfg, std::uint64_t seed)
+    : geom_(geom), rng_(seed) {
+  routers_.reserve(static_cast<std::size_t>(geom_.num_nodes()));
+  for (int id = 0; id < geom_.num_nodes(); ++id) {
+    routers_.push_back(std::make_unique<DeflectionRouter>(
+        sched, geom_, geom_.coord_of(id), cfg, stats_, rng_));
+  }
+  // One unidirectional link per (router, direction).  The link leaving
+  // router R through direction d enters neighbour(R, d) through the
+  // opposite port.  On 1-wide or 1-tall tori a link can loop back to its
+  // own router; the wiring below handles that uniformly.
+  for (int id = 0; id < geom_.num_nodes(); ++id) {
+    const Coord from = geom_.coord_of(id);
+    for (int d = 0; d < kNumDirs; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      const Coord to = geom_.neighbor(from, dir);
+      auto link = std::make_unique<sim::Fifo<Flit>>(
+          sched,
+          "link" + from.to_string() + to_string(dir) + "->" + to.to_string(),
+          kLinkCapacity);
+      routers_[static_cast<std::size_t>(id)]->connect_output(dir, link.get());
+      router(to).connect_input(opposite(dir), link.get());
+      links_.push_back(std::move(link));
+    }
+  }
+}
+
+}  // namespace medea::noc

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/coord.h"
+#include "noc/flit.h"
+#include "noc/router.h"
+#include "sim/fifo.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+
+/// \file network.h
+/// The 2-D folded-torus NoC: routers plus inter-router links.
+///
+/// Network owns every DeflectionRouter and every link FIFO and exposes the
+/// local inject/eject queues that network interfaces (the TIE port, the
+/// pif2NoC bridge and the MPMMU's interface) attach to.
+///
+/// Links are single-flit channels: a flit pushed at cycle T arrives at the
+/// downstream router at T+1, giving the one-cycle-per-hop latency the
+/// paper's switch RTL has.  (The FIFO capacity is 2 purely because of the
+/// kernel's pop-frees-space-next-cycle bookkeeping; steady-state occupancy
+/// is at most one flit, which tests assert.)
+
+namespace medea::noc {
+
+class Network {
+ public:
+  Network(sim::Scheduler& sched, const TorusGeometry& geom,
+          const RouterConfig& cfg = {}, std::uint64_t seed = 1);
+
+  const TorusGeometry& geometry() const { return geom_; }
+  int num_nodes() const { return geom_.num_nodes(); }
+
+  /// Local-port access for the node's network interface.
+  sim::Fifo<Flit>& inject(int node_id) { return router(node_id).inject(); }
+  sim::Fifo<Flit>& eject(int node_id) { return router(node_id).eject(); }
+  sim::Fifo<Flit>& inject(Coord c) { return inject(geom_.node_id(c)); }
+  sim::Fifo<Flit>& eject(Coord c) { return eject(geom_.node_id(c)); }
+
+  DeflectionRouter& router(int node_id) { return *routers_[node_id]; }
+  DeflectionRouter& router(Coord c) { return router(geom_.node_id(c)); }
+
+  sim::StatSet& stats() { return stats_; }
+  const sim::StatSet& stats() const { return stats_; }
+
+  /// Fresh unique flit id (for tracing and deterministic tie-breaks).
+  std::uint32_t next_flit_uid() { return next_uid_++; }
+
+ private:
+  TorusGeometry geom_;
+  sim::StatSet stats_;
+  sim::Xoshiro256 rng_;
+  std::vector<std::unique_ptr<DeflectionRouter>> routers_;
+  std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;
+  std::uint32_t next_uid_ = 1;
+};
+
+}  // namespace medea::noc

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "noc/coord.h"
+#include "noc/flit.h"
+#include "sim/fifo.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+
+/// \file router.h
+/// The MEDEA deflection ("hot-potato") router, paper §II-A.
+///
+/// Properties reproduced from the paper:
+///  * full packet switching: every flit of a packet routes independently,
+///    so flits of one logic packet can (and do) arrive out of order;
+///  * minimal storage: never more than one flit per input channel, no
+///    packet buffers, no back-pressure between switches;
+///  * deadlock-free by construction (flits always move); livelock is
+///    theoretically possible, mitigated here — as in most hot-potato
+///    designs — by oldest-first priority, and watched by a hop counter.
+///
+/// Per cycle the router:
+///  1. accepts at most one flit per input link,
+///  2. ejects up to eject_per_cycle flits addressed to this node,
+///  3. assigns remaining flits to output ports oldest-first, preferring
+///     productive directions, deflecting losers to any free port,
+///  4. injects at most one local flit if an output port is still free.
+
+namespace medea::noc {
+
+struct RouterConfig {
+  int eject_per_cycle = 1;      ///< local delivery bandwidth (flits/cycle)
+  int inject_queue_depth = 2;   ///< NI-side injection staging
+  int eject_queue_depth = 4;    ///< NI-side delivery staging
+  bool random_tie_break = false;  ///< age ties: random port pick vs fixed scan
+};
+
+class DeflectionRouter : public sim::Component {
+ public:
+  DeflectionRouter(sim::Scheduler& sched, const TorusGeometry& geom, Coord pos,
+                   const RouterConfig& cfg, sim::StatSet& net_stats,
+                   sim::Xoshiro256& rng);
+
+  Coord pos() const { return pos_; }
+
+  /// Wiring (done once by Network during construction).
+  void connect_input(Dir d, sim::Fifo<Flit>* link);
+  void connect_output(Dir d, sim::Fifo<Flit>* link);
+
+  /// Local-port queues: the network interface pushes into inject() and
+  /// pops from eject().
+  sim::Fifo<Flit>& inject() { return inject_q_; }
+  sim::Fifo<Flit>& eject() { return eject_q_; }
+
+  void tick(sim::Cycle now) override;
+
+ private:
+  const TorusGeometry& geom_;
+  Coord pos_;
+  RouterConfig cfg_;
+  sim::StatSet& stats_;
+  sim::Xoshiro256& rng_;
+
+  std::array<sim::Fifo<Flit>*, kNumDirs> in_{};
+  std::array<sim::Fifo<Flit>*, kNumDirs> out_{};
+  sim::Fifo<Flit> inject_q_;
+  sim::Fifo<Flit> eject_q_;
+
+  // scratch, kept as members to avoid per-tick allocation
+  std::vector<Flit> route_set_;
+};
+
+}  // namespace medea::noc

@@ -1,0 +1,41 @@
+#include "noc/traffic.h"
+
+namespace medea::noc {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniformRandom: return "uniform";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kNeighbor: return "neighbor";
+  }
+  return "?";
+}
+
+int pick_destination(TrafficPattern p, const TorusGeometry& geom, int src,
+                     int hotspot_node, sim::Xoshiro256& rng) {
+  switch (p) {
+    case TrafficPattern::kUniformRandom: {
+      int dst = src;
+      while (dst == src) {
+        dst = static_cast<int>(
+            rng.next_below(static_cast<std::uint32_t>(geom.num_nodes())));
+      }
+      return dst;
+    }
+    case TrafficPattern::kHotspot:
+      return hotspot_node;
+    case TrafficPattern::kTranspose: {
+      const Coord c = geom.coord_of(src);
+      // Meaningful on square fabrics; clamp otherwise.
+      const Coord t{static_cast<std::uint8_t>(c.y % geom.width()),
+                    static_cast<std::uint8_t>(c.x % geom.height())};
+      return geom.node_id(t);
+    }
+    case TrafficPattern::kNeighbor:
+      return (src + 1) % geom.num_nodes();
+  }
+  return src;
+}
+
+}  // namespace medea::noc

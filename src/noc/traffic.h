@@ -1,0 +1,127 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "noc/coord.h"
+#include "noc/flit.h"
+#include "sim/fifo.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+
+/// \file traffic.h
+/// Synthetic traffic generation for NoC characterization (used by the
+/// deflection-vs-buffered ablation benches and by stress tests).
+///
+/// Patterns are the standard NoC evaluation set:
+///  * kUniformRandom — every node sends to uniformly random others,
+///  * kHotspot      — all traffic converges on one node (the MPMMU
+///                    pattern: what pure shared memory does to the NoC),
+///  * kTranspose    — (x,y) -> (y,x), a classic adversarial permutation,
+///  * kNeighbor     — nearest-neighbour ring, the halo-exchange pattern.
+///
+/// A TrafficEndpoint injects flits at a Bernoulli rate per cycle into any
+/// fabric exposing inject/eject FIFOs, and sinks whatever arrives.  The
+/// template keeps one generator usable for both Network (deflection) and
+/// XyNetwork (buffered XY baseline).
+
+namespace medea::noc {
+
+enum class TrafficPattern : std::uint8_t {
+  kUniformRandom,
+  kHotspot,
+  kTranspose,
+  kNeighbor,
+};
+
+const char* to_string(TrafficPattern p);
+
+/// Destination chooser shared by all endpoint instantiations.
+/// hotspot_node is used only by kHotspot.
+int pick_destination(TrafficPattern p, const TorusGeometry& geom, int src,
+                     int hotspot_node, sim::Xoshiro256& rng);
+
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  double injection_rate = 0.1;  ///< flits per node per cycle
+  int flits_per_node = 1000;
+  int hotspot_node = 0;
+  std::uint64_t seed = 1;
+};
+
+/// One traffic endpoint attached to node `node` of fabric N (Network or
+/// XyNetwork: anything with inject(int)/eject(int)/geometry()/
+/// next_flit_uid()).
+template <typename N>
+class TrafficEndpoint : public sim::Component {
+ public:
+  TrafficEndpoint(sim::Scheduler& sched, N& net, int node,
+                  const TrafficConfig& cfg)
+      : sim::Component(sched, "traffic" + std::to_string(node)),
+        net_(net),
+        node_(node),
+        cfg_(cfg),
+        rng_(cfg.seed * 1000003ull + static_cast<std::uint64_t>(node)),
+        remaining_(cfg.flits_per_node) {
+    net.eject(node).set_consumer(this);
+    sched.wake_at(*this, 1);
+  }
+
+  void tick(sim::Cycle now) override {
+    auto& ej = net_.eject(node_);
+    while (!ej.empty()) {
+      ej.pop();
+      ++received_;
+    }
+    if (remaining_ > 0 && rng_.next_bool(cfg_.injection_rate)) {
+      const int dst = pick_destination(cfg_.pattern, net_.geometry(), node_,
+                                       cfg_.hotspot_node, rng_);
+      if (dst == node_) {
+        --remaining_;  // self-addressed slot (e.g. the hotspot node): drop
+      } else if (auto& inj = net_.inject(node_); inj.can_push()) {
+        Flit f;
+        f.valid = true;
+        f.dst = net_.geometry().coord_of(dst);
+        f.type = FlitType::kMessage;
+        f.subtype = kMpData;
+        f.src_id = static_cast<std::uint8_t>(node_ & 0xF);
+        f.uid = net_.next_flit_uid();
+        f.inject_cycle = now;
+        inj.push(f);
+        --remaining_;
+      }
+    }
+    if (remaining_ > 0) wake();
+  }
+
+  int received() const { return received_; }
+  int remaining() const { return remaining_; }
+
+ private:
+  N& net_;
+  int node_;
+  TrafficConfig cfg_;
+  sim::Xoshiro256 rng_;
+  int remaining_;
+  int received_ = 0;
+};
+
+/// Convenience: attach endpoints to every node of a fabric and run until
+/// drained (or `limit`).  Returns total flits received across all nodes.
+template <typename N>
+int run_traffic(sim::Scheduler& sched, N& net, const TrafficConfig& cfg,
+                sim::Cycle limit = 50'000'000) {
+  std::vector<std::unique_ptr<TrafficEndpoint<N>>> eps;
+  eps.reserve(static_cast<std::size_t>(net.num_nodes()));
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    eps.push_back(std::make_unique<TrafficEndpoint<N>>(sched, net, i, cfg));
+  }
+  sched.run(limit);
+  int total = 0;
+  for (auto& e : eps) total += e->received();
+  return total;
+}
+
+}  // namespace medea::noc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/xy_router.h"
+
+/// \file xy_network.h
+/// Network assembly for the baseline buffered XY router (see xy_router.h).
+/// Wiring matches Network exactly (same links, same geometry), so traffic
+/// generators can drive either fabric and compare latency, throughput and
+/// buffer occupancy — the quantitative form of the paper's §II-A argument
+/// for deflection routing.
+
+namespace medea::noc {
+
+class XyNetwork {
+ public:
+  /// torus_wrap=false (default) gives a mesh, the deadlock-free home of
+  /// dimension-ordered routing; wrap=true uses shortest-way tori links
+  /// (fine for light load; cyclic buffer dependencies can deadlock under
+  /// saturation, which the comparison benches avoid by construction).
+  XyNetwork(sim::Scheduler& sched, const TorusGeometry& geom,
+            const XyRouterConfig& cfg = {}, bool torus_wrap = false);
+
+  const TorusGeometry& geometry() const { return geom_; }
+  int num_nodes() const { return geom_.num_nodes(); }
+
+  sim::Fifo<Flit>& inject(int node_id) { return router(node_id).inject(); }
+  sim::Fifo<Flit>& eject(int node_id) { return router(node_id).eject(); }
+
+  XyRouter& router(int node_id) { return *routers_[static_cast<std::size_t>(node_id)]; }
+
+  sim::StatSet& stats() { return stats_; }
+  const sim::StatSet& stats() const { return stats_; }
+
+  std::uint32_t next_flit_uid() { return next_uid_++; }
+
+  /// Sum of all flits buffered inside routers right now.
+  std::size_t total_buffered() const;
+
+ private:
+  TorusGeometry geom_;
+  sim::StatSet stats_;
+  std::vector<std::unique_ptr<XyRouter>> routers_;
+  std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;
+  std::uint32_t next_uid_ = 1;
+};
+
+}  // namespace medea::noc

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/types.h"
+
+/// \file fifo.h
+/// Synchronous single-producer/single-consumer FIFO channel.
+///
+/// This is the universal interconnect primitive of the model: NoC links,
+/// the TIE message-passing ports, the pif2NoC arbiter queues and the
+/// MPMMU's Pif-Request / Pif-Data / outgoing queues are all Fifo<T>.
+///
+/// Timing semantics (hardware-faithful):
+///  * push() during cycle T becomes visible to the consumer at T+1.
+///  * pop() during cycle T removes the element immediately from the
+///    consumer's view, but the slot is returned to the producer's free
+///    space only at T+1 (as a registered occupancy counter would).
+///  * The consumer is woken automatically when data arrives; the producer
+///    is woken automatically when a full FIFO gains space.
+///
+/// These rules make simulation results independent of the order in which
+/// components tick within a cycle.
+
+namespace medea::sim {
+
+template <typename T>
+class Fifo : public Committable {
+ public:
+  /// capacity == 0 means unbounded (used for modelling ideal sinks and
+  /// for test instrumentation; real MEDEA queues are always bounded).
+  Fifo(Scheduler& sched, std::string name, std::size_t capacity)
+      : sched_(sched), name_(std::move(name)), capacity_(capacity) {}
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Component to wake when staged data commits (new data visible).
+  void set_consumer(Component* c) { consumer_ = c; }
+  /// Component to wake when a full FIFO frees space.
+  void set_producer(Component* c) { producer_ = c; }
+
+  // ------------------------------------------------------------------
+  // Producer interface
+  // ------------------------------------------------------------------
+
+  /// Occupancy from the producer's point of view: committed entries
+  /// (including ones popped this cycle, whose slots free at commit)
+  /// plus entries staged this cycle.
+  std::size_t producer_occupancy() const {
+    return q_.size() + popped_this_cycle_ + staged_.size();
+  }
+
+  bool can_push() const {
+    const bool ok = capacity_ == 0 || producer_occupancy() < capacity_;
+    // Remember that a producer found us full so commit() can wake it as
+    // soon as space appears; this prevents missed-wakeup hangs.
+    if (!ok) push_blocked_ = true;
+    return ok;
+  }
+
+  /// Stage one element; visible to the consumer next cycle.
+  void push(T v) {
+    assert(can_push() && "Fifo::push on full FIFO");
+    if (!commit_armed_) {
+      sched_.defer_commit(*this);
+      commit_armed_ = true;
+    }
+    staged_.push_back(std::move(v));
+  }
+
+  // ------------------------------------------------------------------
+  // Consumer interface
+  // ------------------------------------------------------------------
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  const T& front() const {
+    assert(!q_.empty());
+    return q_.front();
+  }
+
+  T pop() {
+    assert(!q_.empty());
+    T v = std::move(q_.front());
+    q_.pop_front();
+    ++popped_this_cycle_;
+    if (!commit_armed_) {
+      sched_.defer_commit(*this);
+      commit_armed_ = true;
+    }
+    return v;
+  }
+
+  // ------------------------------------------------------------------
+  // Committable
+  // ------------------------------------------------------------------
+
+  void commit() override {
+    const bool gained_data = !staged_.empty();
+    for (auto& v : staged_) q_.push_back(std::move(v));
+    staged_.clear();
+    popped_this_cycle_ = 0;
+    commit_armed_ = false;
+    if (gained_data && consumer_ != nullptr) {
+      sched_.wake_at(*consumer_, sched_.now() + 1);
+    }
+    if (push_blocked_ && producer_ != nullptr &&
+        (capacity_ == 0 || q_.size() < capacity_)) {
+      push_blocked_ = false;
+      sched_.wake_at(*producer_, sched_.now() + 1);
+    }
+  }
+
+ private:
+  Scheduler& sched_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> q_;
+  std::vector<T> staged_;
+  std::size_t popped_this_cycle_ = 0;
+  bool commit_armed_ = false;
+  mutable bool push_blocked_ = false;
+  Component* consumer_ = nullptr;
+  Component* producer_ = nullptr;
+};
+
+}  // namespace medea::sim

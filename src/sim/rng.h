@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation for the simulator.
+///
+/// Simulation results must be reproducible: identical configuration and
+/// seed always yield identical cycle counts.  We therefore never use
+/// std::random_device or hash-ordering-dependent choices; every stochastic
+/// decision (e.g. deflection-routing tie-breaks) draws from one of these
+/// explicitly seeded generators.
+
+namespace medea::sim {
+
+/// SplitMix64: tiny, fast generator used to expand a user seed into
+/// stream seeds.  Reference: Steele, Lea, Flood, "Fast Splittable
+/// Pseudorandom Number Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the simulator's workhorse generator.
+/// Public-domain algorithm by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  constexpr std::uint32_t next_below(std::uint32_t bound) {
+    // Lemire's multiply-shift rejection-free mapping is fine here: the
+    // tiny modulo bias (bound << 2^64) is irrelevant for tie-breaking.
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace medea::sim

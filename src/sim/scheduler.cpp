@@ -1,0 +1,67 @@
+#include "sim/scheduler.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace medea::sim {
+
+Component::Component(Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void Component::wake(Cycle delta) { sched_.wake_at(*this, sched_.now() + delta); }
+
+void Scheduler::wake_at(Component& c, Cycle at) {
+  assert(at != kNeverCycle);
+  if (dispatching_) {
+    // Synchronous design: nothing scheduled mid-cycle may land in the
+    // same cycle, or tick ordering would become observable.
+    assert(at > now_ && "wake_at during dispatch must target a future cycle");
+  } else {
+    assert(at >= now_);
+  }
+  heap_.push(Event{at, seq_++, &c});
+}
+
+bool Scheduler::run(Cycle limit) {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    const Cycle t = heap_.top().cycle;
+    if (t > limit) return false;
+    now_ = t;
+    ++active_cycles_;
+
+    // Gather every component woken for this cycle, then dispatch.  The
+    // gather/dispatch split guarantees that wake_at() calls made inside
+    // tick() (which must target t+1 or later) never join this batch.
+    dispatch_batch_.clear();
+    while (!heap_.empty() && heap_.top().cycle == t) {
+      Component* c = heap_.top().component;
+      heap_.pop();
+      if (c->last_ticked_ == t) continue;  // dedup same-cycle wakes
+      c->last_ticked_ = t;
+      dispatch_batch_.push_back(c);
+    }
+
+    dispatching_ = true;
+    for (Component* c : dispatch_batch_) c->tick(t);
+    dispatching_ = false;
+
+    // End-of-cycle commit: staged channel pushes/pops become visible,
+    // which may wake consumers/producers at t+1.
+    commit_batch_.swap(commit_list_);
+    for (Committable* c : commit_batch_) c->commit();
+    commit_batch_.clear();
+  }
+  return true;
+}
+
+void Scheduler::run_or_throw(Cycle limit) {
+  if (!run(limit)) {
+    throw std::runtime_error(
+        "Scheduler::run_or_throw: cycle limit " + std::to_string(limit) +
+        " reached at cycle " + std::to_string(now_) +
+        " without the system going idle (deadlock or livelock?)");
+  }
+}
+
+}  // namespace medea::sim

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+/// \file scheduler.h
+/// The cycle-accurate discrete-event kernel at the bottom of MEDEA.
+///
+/// The paper models every block as a synchronous SystemC module clocked by
+/// a single clock.  We reproduce those semantics with an event-driven
+/// kernel so that cycles in which no component has work are skipped
+/// entirely; this is what makes the 168-point design-space sweep of the
+/// paper's Section III affordable on one machine.
+///
+/// Semantics contract (matches RTL intuition):
+///  * A component's tick(now) sees only state committed in cycles < now.
+///  * Values pushed into channels during tick(now) become visible to
+///    consumers at cycle now+1 (two-phase staged commit).
+///  * A component may receive spurious ticks; tick() must be idempotent
+///    when there is no work to do.
+///  * wake() during a tick may only target strictly future cycles.
+
+namespace medea::sim {
+
+class Scheduler;
+
+/// Base class for every clocked hardware model.
+class Component {
+ public:
+  Component(Scheduler& sched, std::string name);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// One clock cycle of work.  Called only on cycles for which the
+  /// component was woken (by itself, by a channel, or by another block).
+  virtual void tick(Cycle now) = 0;
+
+  const std::string& name() const { return name_; }
+  Scheduler& scheduler() const { return sched_; }
+
+ protected:
+  /// Request a tick at now+delta (delta >= 1 while the clock is running).
+  void wake(Cycle delta = 1);
+
+ private:
+  friend class Scheduler;
+  Scheduler& sched_;
+  std::string name_;
+  Cycle last_ticked_ = kNeverCycle;  // dedup guard for same-cycle wakes
+};
+
+/// Anything with staged state that must be made visible at end of cycle.
+class Committable {
+ public:
+  virtual ~Committable() = default;
+  virtual void commit() = 0;
+};
+
+/// The simulation kernel.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Cycle now() const { return now_; }
+
+  /// Total cycles in which at least one component ticked.
+  std::uint64_t active_cycles() const { return active_cycles_; }
+
+  /// Schedule component c to tick at absolute cycle `at`.
+  /// While dispatching a cycle, `at` must be strictly in the future.
+  void wake_at(Component& c, Cycle at);
+
+  /// Register a staged object for commit at the end of the current cycle.
+  /// Idempotent per cycle only if the caller guards; cheap either way.
+  void defer_commit(Committable& c) { commit_list_.push_back(&c); }
+
+  /// Run until the event heap empties or `limit` is passed.
+  /// Returns true if the system went idle (heap drained), false if the
+  /// cycle limit stopped the run (useful as a livelock/deadlock guard).
+  bool run(Cycle limit = kNeverCycle);
+
+  /// Convenience: run with a hard limit and abort (assert/throw) if the
+  /// limit is reached.  Used by tests and by MedeaSystem::run().
+  void run_or_throw(Cycle limit);
+
+  /// Abort the run loop at the end of the current cycle.
+  void request_stop() { stop_requested_ = true; }
+
+  bool idle() const { return heap_.empty(); }
+
+  /// Optional trace sink; null disables tracing.
+  void set_trace(std::ostream* os) { trace_ = os; }
+  std::ostream* trace() const { return trace_; }
+  bool tracing() const { return trace_ != nullptr; }
+
+ private:
+  struct Event {
+    Cycle cycle;
+    std::uint64_t seq;  // FIFO order among same-cycle events => determinism
+    Component* component;
+    bool operator>(const Event& o) const {
+      return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+    }
+  };
+
+  Cycle now_ = 0;
+  bool dispatching_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t active_cycles_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<Committable*> commit_list_;
+  std::vector<Committable*> commit_batch_;
+  std::vector<Component*> dispatch_batch_;
+  std::ostream* trace_ = nullptr;
+};
+
+}  // namespace medea::sim

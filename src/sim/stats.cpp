@@ -1,0 +1,17 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace medea::sim {
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << '=' << v << '\n';
+  for (const auto& [k, a] : accs_) {
+    os << k << ": n=" << a.count() << " mean=" << a.mean() << " min=" << a.min()
+       << " max=" << a.max() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace medea::sim

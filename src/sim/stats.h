@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.h"
+
+/// \file stats.h
+/// Lightweight named-counter statistics used by all hardware models.
+///
+/// Every component owns (or shares) a StatSet; counters are created lazily
+/// on first use and are cheap to bump.  A StatSet can be merged into
+/// another, which the system level uses to aggregate per-PE statistics.
+
+namespace medea::sim {
+
+/// Simple accumulator for a stream of samples (e.g. packet latencies).
+class Accumulator {
+ public:
+  void add(double v) {
+    count_ += 1;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  void merge(const Accumulator& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A named bag of counters and accumulators.
+///
+/// std::map (not unordered_map) keeps iteration order deterministic so
+/// that printed reports are stable run-to-run.
+class StatSet {
+ public:
+  /// Bump an integer counter by delta (creates it at zero when absent).
+  void inc(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Set a counter to an absolute value.
+  void set(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
+
+  /// Current value of a counter (zero when never touched).
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Record a sample into a named accumulator.
+  void sample(const std::string& name, double v) { accs_[name].add(v); }
+
+  const Accumulator& acc(const std::string& name) const {
+    static const Accumulator kEmpty;
+    auto it = accs_.find(name);
+    return it == accs_.end() ? kEmpty : it->second;
+  }
+
+  void merge(const StatSet& o) {
+    for (const auto& [k, v] : o.counters_) counters_[k] += v;
+    for (const auto& [k, a] : o.accs_) accs_[k].merge(a);
+  }
+
+  void clear() {
+    counters_.clear();
+    accs_.clear();
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Accumulator>& accumulators() const {
+    return accs_;
+  }
+
+  /// Render as "name=value" lines, for debugging and reports.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Accumulator> accs_;
+};
+
+}  // namespace medea::sim

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+/// \file task.h
+/// Minimal coroutine task type used to write "software" for simulated cores.
+///
+/// The paper runs real C code (the Jacobi kernel, eMPI) on Xtensa cores
+/// inside the SystemC model.  Our substitute is a C++20 coroutine: a core
+/// program is a Task<> that co_awaits typed hardware operations (loads,
+/// stores, message-passing sends/receives, compute delays).  The owning
+/// ProcessingElement resumes the coroutine exactly when the modelled
+/// hardware would have retired the operation, so program-visible timing is
+/// cycle-accurate while the program text stays as readable as the paper's
+/// pseudo-code.
+///
+/// Task<T> supports:
+///  * lazy start (the PE decides when the program begins running),
+///  * co_await composition with symmetric transfer (eMPI primitives are
+///    themselves coroutines used by application code),
+///  * exception propagation to the awaiter / owner,
+///  * an on_done callback so the PE knows the program terminated.
+
+namespace medea::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;  // resumed at final_suspend
+  std::function<void()> on_done;         // owner notification (root tasks)
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.on_done) p.on_done();
+      return p.continuation ? p.continuation : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine computing a T (or nothing for T = void).
+template <typename T = void>
+class Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    T value{};
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+
+  /// Begin execution (root tasks only; awaited tasks start via co_await).
+  void start() {
+    assert(h_ && !h_.done());
+    h_.resume();
+  }
+
+  /// Owner callback fired when the coroutine runs to completion.
+  void set_on_done(std::function<void()> f) {
+    assert(h_);
+    h_.promise().on_done = std::move(f);
+  }
+
+  void rethrow_if_error() const {
+    if (h_ && h_.promise().error) std::rethrow_exception(h_.promise().error);
+  }
+
+  /// Retrieve the result after completion.
+  T result() const {
+    rethrow_if_error();
+    return h_.promise().value;
+  }
+
+  /// co_await support: start the child, resume parent at child completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+        return std::move(h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// void specialisation.
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+
+  void start() {
+    assert(h_ && !h_.done());
+    h_.resume();
+  }
+
+  void set_on_done(std::function<void()> f) {
+    assert(h_);
+    h_.promise().on_done = std::move(f);
+  }
+
+  void rethrow_if_error() const {
+    if (h_ && h_.promise().error) std::rethrow_exception(h_.promise().error);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace medea::sim

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.h
+/// Fundamental scalar types shared by every MEDEA simulation module.
+
+namespace medea::sim {
+
+/// Simulation time, measured in clock cycles of the single system clock.
+/// The paper's SystemC model is fully synchronous; so is this kernel.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no scheduled time".
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+}  // namespace medea::sim

@@ -1,0 +1,213 @@
+/// Tests for the Jacobi workload: partitioning, reference solver, and
+/// full-system numerical correctness of all three variants.
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.h"
+#include "core/medea.h"
+
+namespace medea::apps {
+namespace {
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+TEST(Partition, EvenSplit) {
+  auto p = partition_rows(12, 4);
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(p[static_cast<std::size_t>(k)].rows(), 3);
+  EXPECT_EQ(p[0].start, 0);
+  EXPECT_EQ(p[3].end, 12);
+}
+
+TEST(Partition, RemainderGoesToLeadingCores) {
+  auto p = partition_rows(14, 4);  // 4,4,3,3
+  EXPECT_EQ(p[0].rows(), 4);
+  EXPECT_EQ(p[1].rows(), 4);
+  EXPECT_EQ(p[2].rows(), 3);
+  EXPECT_EQ(p[3].rows(), 3);
+}
+
+TEST(Partition, ContiguousAndComplete) {
+  for (int rows : {1, 7, 14, 58}) {
+    for (int cores : {1, 2, 5, 15}) {
+      auto p = partition_rows(rows, cores);
+      int prev_end = 0;
+      int total = 0;
+      for (auto& rp : p) {
+        EXPECT_EQ(rp.start, prev_end);
+        prev_end = rp.end;
+        total += rp.rows();
+      }
+      EXPECT_EQ(total, rows);
+    }
+  }
+}
+
+TEST(Partition, MoreCoresThanRowsLeavesTrailingCoresEmpty) {
+  auto p = partition_rows(3, 5);
+  EXPECT_EQ(p[0].rows(), 1);
+  EXPECT_EQ(p[1].rows(), 1);
+  EXPECT_EQ(p[2].rows(), 1);
+  EXPECT_EQ(p[3].rows(), 0);
+  EXPECT_EQ(p[4].rows(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Reference solver
+// ---------------------------------------------------------------------
+
+TEST(Reference, BoundaryIsPreserved) {
+  const int n = 8;
+  auto g = jacobi_reference(n, 3);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(g[static_cast<std::size_t>(i) * n], jacobi_initial(i, 0, n));
+    EXPECT_EQ(g[static_cast<std::size_t>(i) * n + n - 1],
+              jacobi_initial(i, n - 1, n));
+  }
+}
+
+TEST(Reference, OneStepIsNeighborAverage) {
+  const int n = 4;
+  auto g = jacobi_reference(n, 1);
+  const auto u0 = [&](int i, int j) { return jacobi_initial(i, j, n); };
+  const double expect11 =
+      0.25 * (u0(0, 1) + u0(2, 1) + u0(1, 0) + u0(1, 2));
+  EXPECT_DOUBLE_EQ(g[1 * 4 + 1], expect11);
+}
+
+TEST(Reference, ConvergesTowardHarmonicSolution) {
+  // Residual after many iterations must be far smaller than after few.
+  const int n = 16;
+  auto residual = [&](const std::vector<double>& g) {
+    double r = 0;
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        const double v =
+            0.25 * (g[static_cast<std::size_t>((i - 1)) * n + j] +
+                    g[static_cast<std::size_t>((i + 1)) * n + j] +
+                    g[static_cast<std::size_t>(i) * n + j - 1] +
+                    g[static_cast<std::size_t>(i) * n + j + 1]) -
+            g[static_cast<std::size_t>(i) * n + j];
+        r += v * v;
+      }
+    }
+    return r;
+  };
+  const auto early = jacobi_reference(n, 2);
+  const auto late = jacobi_reference(n, 400);
+  EXPECT_LT(residual(late), residual(early) * 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// Full-system runs (small grids to keep test time low)
+// ---------------------------------------------------------------------
+
+core::MedeaConfig jacobi_cfg(int cores, std::uint32_t cache_kb,
+                             mem::WritePolicy pol) {
+  core::MedeaConfig cfg;
+  cfg.num_compute_cores = cores;
+  cfg.l1.size_bytes = cache_kb * 1024;
+  cfg.l1.policy = pol;
+  return cfg;
+}
+
+struct VariantCase {
+  JacobiVariant variant;
+  int cores;
+  std::uint32_t cache_kb;
+  mem::WritePolicy policy;
+};
+
+class JacobiCorrectness : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(JacobiCorrectness, MatchesSequentialReferenceBitExactly) {
+  const auto& c = GetParam();
+  core::MedeaSystem sys(jacobi_cfg(c.cores, c.cache_kb, c.policy));
+  JacobiParams p;
+  p.n = 8;
+  p.warmup_iterations = 1;
+  p.timed_iterations = 2;
+  p.variant = c.variant;
+  p.verify = true;
+  const auto res = run_jacobi(sys, p);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.max_abs_error, 0.0)
+      << "Jacobi reads only old values, so any partitioning must be "
+         "bit-identical to the sequential reference";
+  EXPECT_GT(res.timed_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, JacobiCorrectness,
+    ::testing::Values(
+        VariantCase{JacobiVariant::kHybridMp, 1, 8, mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridMp, 3, 8, mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridMp, 6, 2, mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridMp, 3, 8, mem::WritePolicy::kWriteThrough},
+        VariantCase{JacobiVariant::kHybridSyncOnly, 3, 8, mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridSyncOnly, 4, 2, mem::WritePolicy::kWriteThrough},
+        VariantCase{JacobiVariant::kPureSharedMemory, 3, 8, mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kPureSharedMemory, 4, 2, mem::WritePolicy::kWriteThrough}),
+    [](const ::testing::TestParamInfo<VariantCase>& info) {
+      const auto& c = info.param;
+      std::string s = to_string(c.variant);
+      for (auto& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s + "_" + std::to_string(c.cores) + "P_" +
+             std::to_string(c.cache_kb) + "k_" +
+             (c.policy == mem::WritePolicy::kWriteBack ? "WB" : "WT");
+    });
+
+TEST(Jacobi, MoreCoresThanInteriorRowsStillCorrect) {
+  // 6x6 grid = 4 interior rows on 6 cores: two cores idle but in barrier.
+  core::MedeaSystem sys(jacobi_cfg(6, 8, mem::WritePolicy::kWriteBack));
+  JacobiParams p;
+  p.n = 6;
+  p.warmup_iterations = 0;
+  p.timed_iterations = 2;
+  p.variant = JacobiVariant::kHybridMp;
+  p.verify = true;
+  const auto res = run_jacobi(sys, p);
+  EXPECT_EQ(res.max_abs_error, 0.0);
+}
+
+TEST(Jacobi, HybridBeatsPureSharedMemory) {
+  // The paper's headline: hybrid MP outperforms pure shared memory.
+  JacobiParams p;
+  p.n = 16;
+  p.warmup_iterations = 1;
+  p.timed_iterations = 1;
+
+  p.variant = JacobiVariant::kHybridMp;
+  core::MedeaSystem mp_sys(jacobi_cfg(4, 16, mem::WritePolicy::kWriteBack));
+  const auto mp = run_jacobi(mp_sys, p);
+
+  p.variant = JacobiVariant::kPureSharedMemory;
+  core::MedeaSystem sm_sys(jacobi_cfg(4, 16, mem::WritePolicy::kWriteBack));
+  const auto sm = run_jacobi(sm_sys, p);
+
+  EXPECT_LT(mp.cycles_per_iteration, sm.cycles_per_iteration);
+}
+
+TEST(Jacobi, DeterministicTimedCycles) {
+  auto once = [] {
+    core::MedeaSystem sys(jacobi_cfg(3, 8, mem::WritePolicy::kWriteBack));
+    JacobiParams p;
+    p.n = 8;
+    p.variant = JacobiVariant::kHybridMp;
+    return run_jacobi(sys, p).timed_cycles;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Jacobi, RejectsDegenerateGrids) {
+  core::MedeaSystem sys(jacobi_cfg(2, 8, mem::WritePolicy::kWriteBack));
+  JacobiParams p;
+  p.n = 2;
+  EXPECT_THROW(run_jacobi(sys, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medea::apps

@@ -1,0 +1,342 @@
+/// Unit tests for the NoC: flit codec, torus geometry, deflection router.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "noc/coord.h"
+#include "noc/flit.h"
+#include "noc/network.h"
+#include "sim/scheduler.h"
+
+namespace medea::noc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Flit wire format (Fig. 5)
+// ---------------------------------------------------------------------
+
+Flit sample_flit() {
+  Flit f;
+  f.valid = true;
+  f.dst = {3, 1};
+  f.type = FlitType::kBlockRead;
+  f.subtype = FlitSubType::kData;
+  f.seq_num = 11;
+  f.burst_size = 3;
+  f.src_id = 9;
+  f.data = 0xDEADBEEF;
+  return f;
+}
+
+TEST(FlitCodec, RoundTripPreservesAllFields) {
+  const Flit f = sample_flit();
+  const Flit g = decode_flit(encode_flit(f));
+  EXPECT_EQ(g.valid, f.valid);
+  EXPECT_EQ(g.dst, f.dst);
+  EXPECT_EQ(g.type, f.type);
+  EXPECT_EQ(g.subtype, f.subtype);
+  EXPECT_EQ(g.seq_num, f.seq_num);
+  EXPECT_EQ(g.burst_size, f.burst_size);
+  EXPECT_EQ(g.src_id, f.src_id);
+  EXPECT_EQ(g.data, f.data);
+}
+
+TEST(FlitCodec, AllTypeSubtypeCombinationsRoundTrip) {
+  for (int t = 0; t < 7; ++t) {
+    for (int s = 0; s < 4; ++s) {
+      Flit f = sample_flit();
+      f.type = static_cast<FlitType>(t);
+      f.subtype = static_cast<FlitSubType>(s);
+      const Flit g = decode_flit(encode_flit(f));
+      EXPECT_EQ(g.type, f.type);
+      EXPECT_EQ(g.subtype, f.subtype);
+    }
+  }
+}
+
+TEST(FlitCodec, FitsIn64BitsWithHeadroom) {
+  // 1 + 2 + 2 + 3 + 2 + 4 + 2 + 4 + 32 = 52 bits used.
+  const int used = FlitFormat::kValidBits + 2 * FlitFormat::kCoordBits +
+                   FlitFormat::kTypeBits + FlitFormat::kSubTypeBits +
+                   FlitFormat::kSeqNumBits + FlitFormat::kBurstBits +
+                   FlitFormat::kSrcIdBits + FlitFormat::kDataBits;
+  EXPECT_EQ(used, 52);
+  EXPECT_LE(used, 64);
+}
+
+TEST(FlitCodec, WideCoordinateEncoding) {
+  Flit f = sample_flit();
+  f.dst = {13, 12};
+  const Flit g = decode_flit(encode_flit(f, 4), 4);
+  EXPECT_EQ(g.dst, f.dst);
+}
+
+TEST(FlitCodec, MetadataNotOnTheWire) {
+  Flit f = sample_flit();
+  f.hops = 17;
+  f.uid = 12345;
+  f.inject_cycle = 999;
+  const Flit g = decode_flit(encode_flit(f));
+  EXPECT_EQ(g.hops, 0);
+  EXPECT_EQ(g.uid, 0u);
+  EXPECT_EQ(g.inject_cycle, 0u);
+}
+
+TEST(FlitCodec, DistinctFlitsEncodeDistinctWords) {
+  Flit a = sample_flit();
+  Flit b = sample_flit();
+  b.seq_num = a.seq_num + 1;
+  EXPECT_NE(encode_flit(a), encode_flit(b));
+}
+
+// ---------------------------------------------------------------------
+// Torus geometry
+// ---------------------------------------------------------------------
+
+TEST(Torus, NeighborsWrapAround) {
+  TorusGeometry g(4, 4);
+  EXPECT_EQ(g.neighbor({0, 0}, Dir::kWest), (Coord{3, 0}));
+  EXPECT_EQ(g.neighbor({3, 0}, Dir::kEast), (Coord{0, 0}));
+  EXPECT_EQ(g.neighbor({0, 0}, Dir::kNorth), (Coord{0, 3}));
+  EXPECT_EQ(g.neighbor({0, 3}, Dir::kSouth), (Coord{0, 0}));
+}
+
+TEST(Torus, DistanceUsesShortestWay) {
+  TorusGeometry g(4, 4);
+  EXPECT_EQ(g.distance({0, 0}, {3, 0}), 1);  // wrap is shorter
+  EXPECT_EQ(g.distance({0, 0}, {2, 0}), 2);  // half-way
+  EXPECT_EQ(g.distance({0, 0}, {1, 1}), 2);
+  EXPECT_EQ(g.distance({1, 1}, {1, 1}), 0);
+}
+
+TEST(Torus, NodeIdRoundTrip) {
+  TorusGeometry g(4, 4);
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    EXPECT_EQ(g.node_id(g.coord_of(id)), id);
+  }
+}
+
+TEST(Torus, ProductiveDirsReduceDistance) {
+  TorusGeometry g(4, 4);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      const Coord ca = g.coord_of(a);
+      const Coord cb = g.coord_of(b);
+      Dir dirs[4];
+      const int n = g.productive_dirs(ca, cb, dirs);
+      ASSERT_GE(n, 1);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(g.distance(g.neighbor(ca, dirs[i]), cb),
+                  g.distance(ca, cb) - 1)
+            << "from " << ca.to_string() << " to " << cb.to_string();
+      }
+    }
+  }
+}
+
+TEST(Torus, NoProductiveDirAtDestination) {
+  TorusGeometry g(4, 4);
+  Dir dirs[4];
+  EXPECT_EQ(g.productive_dirs({2, 2}, {2, 2}, dirs), 0);
+}
+
+TEST(Torus, HalfwayTieListsBothDirections) {
+  TorusGeometry g(4, 4);
+  Dir dirs[4];
+  const int n = g.productive_dirs({0, 0}, {2, 0}, dirs);
+  EXPECT_EQ(n, 2);  // East and West both 2 hops away
+}
+
+// ---------------------------------------------------------------------
+// Network / deflection routing
+// ---------------------------------------------------------------------
+
+Flit make_test_flit(Network& net, Coord dst, std::uint32_t data) {
+  Flit f;
+  f.valid = true;
+  f.dst = dst;
+  f.type = FlitType::kMessage;
+  f.subtype = FlitSubType::kData;
+  f.src_id = 0;
+  f.data = data;
+  f.uid = net.next_flit_uid();
+  return f;
+}
+
+/// Injects a list of flits at a node (one per cycle) and collects
+/// everything ejected at every node.
+class NodeHarness : public sim::Component {
+ public:
+  NodeHarness(sim::Scheduler& s, Network& net, int node)
+      : sim::Component(s, "harness" + std::to_string(node)),
+        net_(net),
+        node_(node) {
+    net.eject(node).set_consumer(this);
+    net.inject(node).set_producer(this);
+  }
+
+  void send(Flit f) {
+    to_send_.push_back(f);
+    scheduler().wake_at(*this, scheduler().now() + 1);
+  }
+
+  void tick(sim::Cycle now) override {
+    auto& ej = net_.eject(node_);
+    while (!ej.empty()) received.emplace_back(now, ej.pop());
+    auto& inj = net_.inject(node_);
+    while (!to_send_.empty() && inj.can_push()) {
+      inj.push(to_send_.front());
+      to_send_.pop_front();
+    }
+    if (!to_send_.empty()) wake();
+  }
+
+  std::vector<std::pair<sim::Cycle, Flit>> received;
+
+ private:
+  Network& net_;
+  int node_;
+  std::deque<Flit> to_send_;
+};
+
+struct NetFixture {
+  explicit NetFixture(int w = 4, int h = 4)
+      : net(sched, TorusGeometry(w, h)) {
+    for (int i = 0; i < net.num_nodes(); ++i) {
+      nodes.push_back(std::make_unique<NodeHarness>(sched, net, i));
+    }
+  }
+  sim::Scheduler sched;
+  Network net;
+  std::vector<std::unique_ptr<NodeHarness>> nodes;
+};
+
+TEST(Network, SingleFlitReachesDestination) {
+  NetFixture fx;
+  const Coord dst{2, 3};
+  fx.nodes[0]->send(make_test_flit(fx.net, dst, 77));
+  ASSERT_TRUE(fx.sched.run(10000));
+  auto& rx = fx.nodes[fx.net.geometry().node_id(dst)]->received;
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].second.data, 77u);
+  EXPECT_EQ(fx.net.stats().get("noc.flits_delivered"), 1u);
+}
+
+TEST(Network, MinimalPathLatencyWhenUncontended) {
+  NetFixture fx;
+  // (0,0) -> (1,0) is one hop: inject at T, link at T, arrive T+2
+  // (inject queue + 1 link + eject queue each add a cycle boundary).
+  fx.nodes[0]->send(make_test_flit(fx.net, {1, 0}, 1));
+  ASSERT_TRUE(fx.sched.run(1000));
+  auto& rx = fx.nodes[1]->received;
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].second.hops, 1);
+  EXPECT_EQ(rx[0].second.deflections, 0);
+}
+
+TEST(Network, AllPairsDelivery) {
+  NetFixture fx;
+  int expected = 0;
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      fx.nodes[static_cast<std::size_t>(s)]->send(make_test_flit(
+          fx.net, fx.net.geometry().coord_of(d),
+          static_cast<std::uint32_t>(s * 100 + d)));
+      ++expected;
+    }
+  }
+  ASSERT_TRUE(fx.sched.run(100000));
+  int got = 0;
+  for (auto& nh : fx.nodes) got += static_cast<int>(nh->received.size());
+  EXPECT_EQ(got, expected);
+  // Everything arrived at the right place.
+  for (int d = 0; d < 16; ++d) {
+    for (auto& [cycle, f] : fx.nodes[static_cast<std::size_t>(d)]->received) {
+      EXPECT_EQ(static_cast<int>(f.data % 100), d);
+    }
+  }
+}
+
+TEST(Network, HotspotDeliversAllAndDeflects) {
+  NetFixture fx;
+  // Every node floods node 0 with 8 flits: heavy contention at one eject.
+  int expected = 0;
+  for (int s = 1; s < 16; ++s) {
+    for (int k = 0; k < 8; ++k) {
+      fx.nodes[static_cast<std::size_t>(s)]->send(make_test_flit(
+          fx.net, {0, 0}, static_cast<std::uint32_t>(s * 16 + k)));
+      ++expected;
+    }
+  }
+  ASSERT_TRUE(fx.sched.run(1000000));
+  EXPECT_EQ(static_cast<int>(fx.nodes[0]->received.size()), expected);
+  // Hot-potato under contention must deflect at least once.
+  EXPECT_GT(fx.net.stats().get("noc.deflections_total"), 0u);
+}
+
+TEST(Network, OutOfOrderDeliveryHappensUnderLoad) {
+  NetFixture fx;
+  // A long burst from one source: per-flit adaptive routing may reorder.
+  for (int k = 0; k < 64; ++k) {
+    Flit f = make_test_flit(fx.net, {2, 2},
+                            static_cast<std::uint32_t>(k));
+    f.seq_num = static_cast<std::uint8_t>(k % 16);
+    fx.nodes[0]->send(f);
+  }
+  // Cross traffic to force deflections.
+  for (int k = 0; k < 64; ++k) {
+    fx.nodes[5]->send(make_test_flit(fx.net, {3, 2}, 1000));
+    fx.nodes[10]->send(make_test_flit(fx.net, {1, 2}, 2000));
+  }
+  ASSERT_TRUE(fx.sched.run(1000000));
+  auto& rx = fx.nodes[fx.net.geometry().node_id({2, 2})]->received;
+  ASSERT_EQ(rx.size(), 64u);
+  // All 64 data values present exactly once, regardless of order.
+  std::set<std::uint32_t> seen;
+  for (auto& [c, f] : rx) seen.insert(f.data);
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    NetFixture fx;
+    for (int s = 0; s < 16; ++s) {
+      for (int k = 0; k < 4; ++k) {
+        fx.nodes[static_cast<std::size_t>(s)]->send(make_test_flit(
+            fx.net, fx.net.geometry().coord_of((s + k + 1) % 16),
+            static_cast<std::uint32_t>(s * 10 + k)));
+      }
+    }
+    EXPECT_TRUE(fx.sched.run(100000));
+    return fx.sched.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Network, WorksOnNonSquareTorus) {
+  NetFixture fx(2, 3);
+  fx.nodes[0]->send(make_test_flit(fx.net, {1, 2}, 5));
+  ASSERT_TRUE(fx.sched.run(10000));
+  EXPECT_EQ(fx.nodes[fx.net.geometry().node_id({1, 2})]->received.size(), 1u);
+}
+
+TEST(Network, LatencyStatisticsPopulated) {
+  NetFixture fx;
+  for (int k = 0; k < 10; ++k) {
+    fx.nodes[0]->send(make_test_flit(fx.net, {3, 3}, 0));
+  }
+  ASSERT_TRUE(fx.sched.run(10000));
+  const auto& lat = fx.net.stats().acc("noc.latency");
+  EXPECT_EQ(lat.count(), 10u);
+  EXPECT_GE(lat.min(), 1.0);
+  const auto& hops = fx.net.stats().acc("noc.hops");
+  EXPECT_GE(hops.min(), 2.0);  // (0,0)->(3,3) minimal distance 2 (wrap)
+}
+
+}  // namespace
+}  // namespace medea::noc

@@ -1,0 +1,140 @@
+/// Paper-shape property tests: the qualitative claims of §III must hold
+/// on reduced-size runs (fast enough for CI).  These are the guardrails
+/// that keep refactoring from silently bending the reproduction.
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.h"
+#include "core/medea.h"
+#include "dse/pareto.h"
+#include "dse/sweep.h"
+
+namespace medea {
+namespace {
+
+double jacobi_cycles(int n, int cores, std::uint32_t kb, mem::WritePolicy pol,
+                     apps::JacobiVariant v = apps::JacobiVariant::kHybridMp) {
+  core::MedeaSystem sys(dse::make_design_config(cores, kb, pol));
+  apps::JacobiParams p;
+  p.n = n;
+  p.variant = v;
+  return apps::run_jacobi(sys, p).cycles_per_iteration;
+}
+
+TEST(PaperShape, WbExecTimeNonIncreasingInCacheSize) {
+  // Fig. 6: growing the cache never hurts under write-back.
+  const int n = 30, cores = 6;
+  double prev = 1e300;
+  for (std::uint32_t kb : {2u, 4u, 8u, 16u, 32u}) {
+    const double t = jacobi_cycles(n, cores, kb, mem::WritePolicy::kWriteBack);
+    EXPECT_LE(t, prev * 1.05) << kb << "kB";  // 5% tolerance for noise
+    prev = t;
+  }
+}
+
+TEST(PaperShape, LowerKneeWhenBlockFitsCache) {
+  // Fig. 6: once the per-core block fits, execution time collapses.
+  // 30x30, 4 cores: per-core working set ~2 x 8 rows x 240 B ~ 3.8 kB.
+  const double small = jacobi_cycles(30, 4, 2, mem::WritePolicy::kWriteBack);
+  const double fits = jacobi_cycles(30, 4, 8, mem::WritePolicy::kWriteBack);
+  EXPECT_GT(small, fits * 3.0)
+      << "the miss-dominated config must be far slower";
+}
+
+TEST(PaperShape, WriteThroughWorseThanWriteBackWhenCacheFits) {
+  // Fig. 6: WT pays store traffic even when WB would be miss-free.
+  const double wb = jacobi_cycles(16, 6, 16, mem::WritePolicy::kWriteBack);
+  const double wt = jacobi_cycles(16, 6, 16, mem::WritePolicy::kWriteThrough);
+  EXPECT_GT(wt, wb * 1.5);
+}
+
+TEST(PaperShape, WriteThroughDoesNotScaleWithCores) {
+  // Fig. 6: the WT curves stay poor as cores grow (traffic serializes).
+  const double wt4 = jacobi_cycles(16, 4, 16, mem::WritePolicy::kWriteThrough);
+  const double wt12 = jacobi_cycles(16, 12, 16, mem::WritePolicy::kWriteThrough);
+  EXPECT_GT(wt12, wt4 * 0.5) << "no ~3x speedup from 3x the cores";
+}
+
+TEST(PaperShape, ComputeBoundRegionScalesWithCores) {
+  // Fig. 6: with fitting caches, time scales roughly ~1/P.
+  const double p2 = jacobi_cycles(30, 2, 32, mem::WritePolicy::kWriteBack);
+  const double p8 = jacobi_cycles(30, 8, 32, mem::WritePolicy::kWriteBack);
+  EXPECT_GT(p2 / p8, 2.5) << "expect ~4x from 4x the cores";
+  EXPECT_LT(p2 / p8, 5.0);
+}
+
+TEST(PaperShape, HybridOrderingAtScale) {
+  // §III: full MP <= sync-only <= pure SM once communication matters.
+  const int n = 16, cores = 12;
+  const double mp =
+      jacobi_cycles(n, cores, 16, mem::WritePolicy::kWriteBack,
+                    apps::JacobiVariant::kHybridMp);
+  const double so =
+      jacobi_cycles(n, cores, 16, mem::WritePolicy::kWriteBack,
+                    apps::JacobiVariant::kHybridSyncOnly);
+  const double sm =
+      jacobi_cycles(n, cores, 16, mem::WritePolicy::kWriteBack,
+                    apps::JacobiVariant::kPureSharedMemory);
+  EXPECT_LT(mp, so);
+  EXPECT_LT(so, sm);
+  EXPECT_GT(sm / mp, 1.5) << "the hybrid advantage must be substantial";
+}
+
+TEST(PaperShape, SmallerArrayNeedsSmallerCache) {
+  // §III: the 30x30 knee sits at ~4x less cache than 60x60 would need.
+  // At 6 cores, 30x30 fits in 4 kB while 16x16 fits even in 2 kB.
+  const double t30_4k = jacobi_cycles(30, 6, 4, mem::WritePolicy::kWriteBack);
+  const double t30_16k = jacobi_cycles(30, 6, 16, mem::WritePolicy::kWriteBack);
+  EXPECT_LT(t30_4k, t30_16k * 1.6)
+      << "4 kB should already be near the knee for 30x30 at 6 cores";
+  const double t16_2k = jacobi_cycles(16, 6, 2, mem::WritePolicy::kWriteBack);
+  const double t16_8k = jacobi_cycles(16, 6, 8, mem::WritePolicy::kWriteBack);
+  EXPECT_LT(t16_2k, t16_8k * 2.0)
+      << "2 kB should be within 2x of fitting for 16x16 at 6 cores";
+}
+
+TEST(PaperShape, ParetoKillRulePipelineOnRealSweep) {
+  // End-to-end mini Fig. 9: sweep -> frontier -> kill rule, sane output.
+  dse::SweepSpec spec;
+  spec.n = 16;
+  spec.cores = {2, 4, 6, 8};
+  spec.cache_kb = {2, 8};
+  spec.policies = {mem::WritePolicy::kWriteBack};
+  const auto pts = dse::run_sweep(spec);
+  const auto frontier = dse::pareto_frontier(dse::to_design_points(pts));
+  ASSERT_GE(frontier.size(), 2u);
+  // Frontier must be strictly improving in both axes.
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].area_mm2, frontier[i - 1].area_mm2);
+    EXPECT_LT(frontier[i].exec_cycles, frontier[i - 1].exec_cycles);
+  }
+  const std::size_t knee = dse::kill_rule_knee(frontier);
+  EXPECT_LT(knee, frontier.size());
+}
+
+TEST(PaperShape, MpmmuEngineOverheadHurtsSharedMemoryMost) {
+  // Calibration sanity: slowing the MPMMU barely moves the hybrid
+  // (near-zero steady-state memory traffic) but hurts pure SM.
+  auto run_with_overhead = [](std::uint32_t eo, apps::JacobiVariant v) {
+    auto cfg = dse::make_design_config(8, 16, mem::WritePolicy::kWriteBack);
+    cfg.mpmmu.engine_overhead = eo;
+    core::MedeaSystem sys(cfg);
+    apps::JacobiParams p;
+    p.n = 16;
+    p.variant = v;
+    return apps::run_jacobi(sys, p).cycles_per_iteration;
+  };
+  const double mp_fast =
+      run_with_overhead(4, apps::JacobiVariant::kHybridMp);
+  const double mp_slow =
+      run_with_overhead(96, apps::JacobiVariant::kHybridMp);
+  const double sm_fast =
+      run_with_overhead(4, apps::JacobiVariant::kPureSharedMemory);
+  const double sm_slow =
+      run_with_overhead(96, apps::JacobiVariant::kPureSharedMemory);
+  EXPECT_LT(mp_slow / mp_fast, 1.3) << "hybrid nearly immune to MPMMU speed";
+  EXPECT_GT(sm_slow / sm_fast, 1.5) << "pure SM bound by MPMMU speed";
+}
+
+}  // namespace
+}  // namespace medea

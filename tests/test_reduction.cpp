@@ -1,0 +1,115 @@
+/// Tests for the parallel reduction workload (second benchmark app).
+
+#include <gtest/gtest.h>
+
+#include "apps/reduction.h"
+#include "core/medea.h"
+#include "dse/sweep.h"
+
+namespace medea::apps {
+namespace {
+
+core::MedeaSystem make_sys(int cores, std::uint32_t kb = 16) {
+  return core::MedeaSystem(
+      dse::make_design_config(cores, kb, mem::WritePolicy::kWriteBack));
+}
+
+TEST(Reduction, ReferenceMatchesDirectSum) {
+  // With one core the rank-major reference is a plain left-to-right sum.
+  double direct = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    direct += reduction_vec_a(i) * reduction_vec_b(i);
+  }
+  EXPECT_DOUBLE_EQ(reduction_reference(100, 1), direct);
+}
+
+class ReductionMp : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionMp, MessagePassingIsBitExact) {
+  const int cores = GetParam();
+  auto sys = make_sys(cores);
+  ReductionParams p;
+  p.elements = 256;
+  p.variant = ReductionVariant::kMessagePassing;
+  const auto res = run_reduction(sys, p);
+  // Rank-0 gathers in rank order, same as the reference: bit-exact.
+  EXPECT_EQ(res.value, res.reference);
+  EXPECT_GT(res.cycles_per_round, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, ReductionMp, ::testing::Values(1, 2, 3, 7, 15));
+
+class ReductionSm : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionSm, SharedMemoryIsNumericallyCorrect) {
+  const int cores = GetParam();
+  auto sys = make_sys(cores);
+  ReductionParams p;
+  p.elements = 256;
+  p.variant = ReductionVariant::kSharedMemory;
+  const auto res = run_reduction(sys, p);
+  // Lock-grant order decides FP accumulation order: tolerance, not
+  // bit-exactness.
+  EXPECT_LT(res.abs_error, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, ReductionSm, ::testing::Values(1, 2, 4, 8));
+
+TEST(Reduction, MultipleRoundsAgree) {
+  auto sys = make_sys(4);
+  ReductionParams p;
+  p.elements = 128;
+  p.repeats = 3;
+  p.variant = ReductionVariant::kMessagePassing;
+  const auto res = run_reduction(sys, p);
+  EXPECT_EQ(res.value, res.reference);
+}
+
+TEST(Reduction, SharedMemoryRoundsResetCorrectly) {
+  // If the accumulator reset between rounds were broken, round 2 would
+  // double the value.
+  auto sys = make_sys(3);
+  ReductionParams p;
+  p.elements = 90;
+  p.repeats = 3;
+  p.variant = ReductionVariant::kSharedMemory;
+  const auto res = run_reduction(sys, p);
+  EXPECT_LT(res.abs_error, 1e-9);
+}
+
+TEST(Reduction, MpCheaperThanSmAtScale) {
+  // The headline again, now on a latency-bound collective: combining
+  // through the TIE port beats serializing at the MPMMU.
+  ReductionParams p;
+  p.elements = 120;  // small chunks: communication dominates
+  for (int cores : {8, 15}) {
+    p.variant = ReductionVariant::kMessagePassing;
+    auto s1 = make_sys(cores);
+    const auto mp = run_reduction(s1, p);
+    p.variant = ReductionVariant::kSharedMemory;
+    auto s2 = make_sys(cores);
+    const auto sm = run_reduction(s2, p);
+    EXPECT_LT(mp.cycles_per_round, sm.cycles_per_round) << cores << " cores";
+  }
+}
+
+TEST(Reduction, DeterministicCycles) {
+  auto once = [] {
+    auto sys = make_sys(5);
+    ReductionParams p;
+    p.elements = 200;
+    p.variant = ReductionVariant::kSharedMemory;
+    return run_reduction(sys, p).total_cycles;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Reduction, RejectsTooFewElements) {
+  auto sys = make_sys(8);
+  ReductionParams p;
+  p.elements = 4;
+  EXPECT_THROW(run_reduction(sys, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medea::apps

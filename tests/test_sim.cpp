@@ -1,0 +1,370 @@
+/// Unit tests for the cycle-accurate discrete-event kernel (src/sim).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fifo.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+
+namespace medea::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+class Recorder : public Component {
+ public:
+  Recorder(Scheduler& s, std::string name) : Component(s, std::move(name)) {}
+  void tick(Cycle now) override { ticks.push_back(now); }
+  std::vector<Cycle> ticks;
+};
+
+TEST(Scheduler, TicksComponentAtRequestedCycle) {
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 5);
+  EXPECT_TRUE(sched.run());
+  ASSERT_EQ(r.ticks.size(), 1u);
+  EXPECT_EQ(r.ticks[0], 5u);
+  EXPECT_EQ(sched.now(), 5u);
+}
+
+TEST(Scheduler, SkipsIdleCycles) {
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 10);
+  sched.wake_at(r, 1000000);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(sched.active_cycles(), 2u);  // only 2 cycles actually executed
+  EXPECT_EQ(sched.now(), 1000000u);
+}
+
+TEST(Scheduler, DeduplicatesSameCycleWakes) {
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 3);
+  sched.wake_at(r, 3);
+  sched.wake_at(r, 3);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks.size(), 1u);
+}
+
+TEST(Scheduler, MultipleWakesAtDifferentCycles) {
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 1);
+  sched.wake_at(r, 2);
+  sched.wake_at(r, 7);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{1, 2, 7}));
+}
+
+TEST(Scheduler, RunStopsAtLimit) {
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 100);
+  EXPECT_FALSE(sched.run(50));
+  EXPECT_TRUE(r.ticks.empty());
+  // The pending event is still there; a later run picks it up.
+  EXPECT_TRUE(sched.run(200));
+  EXPECT_EQ(r.ticks.size(), 1u);
+}
+
+TEST(Scheduler, RunOrThrowThrowsOnLimit) {
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 100);
+  EXPECT_THROW(sched.run_or_throw(50), std::runtime_error);
+}
+
+class SelfWaker : public Component {
+ public:
+  SelfWaker(Scheduler& s, int n) : Component(s, "selfwaker"), remaining(n) {}
+  void tick(Cycle) override {
+    ++count;
+    if (--remaining > 0) wake();
+  }
+  int remaining;
+  int count = 0;
+};
+
+TEST(Scheduler, SelfWakeChainsConsecutiveCycles) {
+  Scheduler sched;
+  SelfWaker w(sched, 10);
+  sched.wake_at(w, 0);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(w.count, 10);
+  EXPECT_EQ(sched.now(), 9u);
+}
+
+// Two components woken the same cycle are both ticked in that cycle.
+TEST(Scheduler, SameCycleBatchDispatch) {
+  Scheduler sched;
+  Recorder a(sched, "a");
+  Recorder b(sched, "b");
+  sched.wake_at(a, 4);
+  sched.wake_at(b, 4);
+  EXPECT_TRUE(sched.run());
+  ASSERT_EQ(a.ticks.size(), 1u);
+  ASSERT_EQ(b.ticks.size(), 1u);
+  EXPECT_EQ(sched.active_cycles(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Fifo
+// ---------------------------------------------------------------------
+
+/// Pushes a burst of values, one per cycle.
+class Producer : public Component {
+ public:
+  Producer(Scheduler& s, Fifo<int>& f, int n)
+      : Component(s, "prod"), fifo(f), remaining(n) {
+    f.set_producer(this);
+  }
+  void tick(Cycle) override {
+    if (remaining > 0 && fifo.can_push()) {
+      fifo.push(next++);
+      --remaining;
+    }
+    if (remaining > 0) wake();
+  }
+  Fifo<int>& fifo;
+  int remaining;
+  int next = 0;
+};
+
+/// Pops everything available each tick and records (cycle, value).
+class Consumer : public Component {
+ public:
+  Consumer(Scheduler& s, Fifo<int>& f) : Component(s, "cons"), fifo(f) {
+    f.set_consumer(this);
+  }
+  void tick(Cycle now) override {
+    while (!fifo.empty()) got.emplace_back(now, fifo.pop());
+  }
+  Fifo<int>& fifo;
+  std::vector<std::pair<Cycle, int>> got;
+};
+
+TEST(Fifo, PushVisibleNextCycle) {
+  Scheduler sched;
+  Fifo<int> f(sched, "f", 4);
+  Producer p(sched, f, 1);
+  Consumer c(sched, f);
+  sched.wake_at(p, 0);
+  EXPECT_TRUE(sched.run());
+  ASSERT_EQ(c.got.size(), 1u);
+  EXPECT_EQ(c.got[0].first, 1u);  // pushed at 0, consumed at 1
+  EXPECT_EQ(c.got[0].second, 0);
+}
+
+TEST(Fifo, DeliversInOrderAtFullThroughput) {
+  Scheduler sched;
+  Fifo<int> f(sched, "f", 2);
+  Producer p(sched, f, 50);
+  Consumer c(sched, f);
+  sched.wake_at(p, 0);
+  EXPECT_TRUE(sched.run());
+  ASSERT_EQ(c.got.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c.got[static_cast<std::size_t>(i)].second, i);
+    // one value per cycle, first arrives at cycle 1
+    EXPECT_EQ(c.got[static_cast<std::size_t>(i)].first,
+              static_cast<Cycle>(i + 1));
+  }
+}
+
+/// Consumer that pops only every `period` cycles, to exercise producer
+/// back-pressure and the blocked-producer wakeup path.
+class SlowConsumer : public Component {
+ public:
+  SlowConsumer(Scheduler& s, Fifo<int>& f, Cycle period)
+      : Component(s, "slow"), fifo(f), period_(period) {
+    f.set_consumer(this);
+  }
+  void tick(Cycle now) override {
+    if (now >= next_pop_ && !fifo.empty()) {
+      got.push_back(fifo.pop());
+      next_pop_ = now + period_;
+    }
+    if (!fifo.empty()) scheduler().wake_at(*this, std::max(now + 1, next_pop_));
+  }
+  Fifo<int>& fifo;
+  Cycle period_;
+  Cycle next_pop_ = 0;
+  std::vector<int> got;
+};
+
+TEST(Fifo, BackpressureBlocksAndResumesProducer) {
+  Scheduler sched;
+  Fifo<int> f(sched, "f", 2);
+  Producer p(sched, f, 20);
+  SlowConsumer c(sched, f, 5);
+  sched.wake_at(p, 0);
+  EXPECT_TRUE(sched.run());
+  ASSERT_EQ(c.got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c.got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Fifo, CapacityZeroIsUnbounded) {
+  Scheduler sched;
+  Fifo<int> f(sched, "f", 0);
+  Producer p(sched, f, 1000);
+  sched.wake_at(p, 0);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(f.size(), 1000u);
+}
+
+TEST(Fifo, PopFreesSpaceOnlyNextCycle) {
+  Scheduler sched;
+  Fifo<int> f(sched, "f", 1);
+  // Hand-drive: producer pushes at 0; consumer pops at 1; producer sees
+  // space again only at 2.
+  struct Driver : Component {
+    Driver(Scheduler& s, Fifo<int>& f) : Component(s, "drv"), fifo(f) {}
+    void tick(Cycle now) override {
+      if (now == 0) {
+        EXPECT_TRUE(fifo.can_push());
+        fifo.push(42);
+        wake();
+      } else if (now == 1) {
+        EXPECT_EQ(fifo.pop(), 42);
+        EXPECT_FALSE(fifo.can_push());  // slot frees at commit
+        wake();
+      } else if (now == 2) {
+        EXPECT_TRUE(fifo.can_push());
+      }
+    }
+    Fifo<int>& fifo;
+  } d(sched, f);
+  sched.wake_at(d, 0);
+  EXPECT_TRUE(sched.run());
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, CountersStartAtZeroAndAccumulate) {
+  StatSet s;
+  EXPECT_EQ(s.get("x"), 0u);
+  s.inc("x");
+  s.inc("x", 4);
+  EXPECT_EQ(s.get("x"), 5u);
+}
+
+TEST(Stats, AccumulatorTracksMinMeanMax) {
+  StatSet s;
+  s.sample("lat", 10.0);
+  s.sample("lat", 20.0);
+  s.sample("lat", 30.0);
+  EXPECT_DOUBLE_EQ(s.acc("lat").mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.acc("lat").min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.acc("lat").max(), 30.0);
+  EXPECT_EQ(s.acc("lat").count(), 3u);
+}
+
+TEST(Stats, MergeAddsCountersAndAccumulators) {
+  StatSet a;
+  StatSet b;
+  a.inc("x", 2);
+  b.inc("x", 3);
+  b.inc("y", 1);
+  a.sample("v", 1.0);
+  b.sample("v", 3.0);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 1u);
+  EXPECT_EQ(a.acc("v").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.acc("v").mean(), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_below(7);
+    EXPECT_LT(v, 7u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Task (coroutines)
+// ---------------------------------------------------------------------
+
+Task<int> make_value_task(int v) { co_return v; }
+
+Task<int> nested_sum(int a, int b) {
+  const int x = co_await make_value_task(a);
+  const int y = co_await make_value_task(b);
+  co_return x + y;
+}
+
+TEST(Task, LazyStartAndResult) {
+  auto t = make_value_task(42);
+  EXPECT_FALSE(t.done());
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(t.result(), 42);
+}
+
+TEST(Task, NestedCoAwaitWithSymmetricTransfer) {
+  auto t = nested_sum(20, 22);
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(t.result(), 42);
+}
+
+Task<> throwing_task() {
+  throw std::runtime_error("boom");
+  co_return;
+}
+
+TEST(Task, ExceptionPropagatesToOwner) {
+  auto t = throwing_task();
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.rethrow_if_error(), std::runtime_error);
+}
+
+TEST(Task, OnDoneFires) {
+  bool fired = false;
+  auto t = make_value_task(1);
+  t.set_on_done([&] { fired = true; });
+  t.start();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace medea::sim

@@ -1,0 +1,288 @@
+/// Integration tests for MedeaSystem: programs exercising the full stack
+/// (core -> cache -> bridge -> NoC -> MPMMU -> DDR, and the TIE MP path).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/medea.h"
+
+namespace medea {
+namespace {
+
+core::MedeaConfig small_config(int cores = 2) {
+  core::MedeaConfig cfg;
+  cfg.num_compute_cores = cores;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Construction / configuration
+// ---------------------------------------------------------------------
+
+TEST(SystemConfig, ValidatesCoreCount) {
+  core::MedeaConfig cfg = small_config();
+  cfg.num_compute_cores = 16;  // 16 + MPMMU > 16 nodes
+  EXPECT_THROW(core::MedeaSystem{cfg}, std::invalid_argument);
+  cfg.num_compute_cores = 0;
+  EXPECT_THROW(core::MedeaSystem{cfg}, std::invalid_argument);
+}
+
+TEST(SystemConfig, ValidatesCacheSize) {
+  core::MedeaConfig cfg = small_config();
+  cfg.l1.size_bytes = 3000;  // not a power of two
+  EXPECT_THROW(core::MedeaSystem{cfg}, std::invalid_argument);
+}
+
+TEST(SystemConfig, LabelMatchesPaperStyle) {
+  core::MedeaConfig cfg = small_config(11);
+  cfg.l1.size_bytes = 16 * 1024;
+  EXPECT_EQ(cfg.label(), "11P_16k$_WB");
+}
+
+TEST(SystemConfig, CoresSkipMpmmuNode) {
+  core::MedeaConfig cfg = small_config(4);
+  cfg.mpmmu_node = 2;
+  core::MedeaSystem sys(cfg);
+  EXPECT_EQ(sys.node_of_rank(0), 0);
+  EXPECT_EQ(sys.node_of_rank(1), 1);
+  EXPECT_EQ(sys.node_of_rank(2), 3);  // skips node 2
+  EXPECT_EQ(sys.node_of_rank(3), 4);
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory path end to end
+// ---------------------------------------------------------------------
+
+sim::Task<> store_then_load(pe::ProcessingElement& pe, mem::Addr a,
+                            std::uint32_t v, std::uint32_t* out) {
+  co_await pe.store(a, v);
+  auto r = co_await pe.load(a);
+  *out = static_cast<std::uint32_t>(r.value);
+}
+
+TEST(System, PrivateStoreLoadRoundTrip) {
+  core::MedeaConfig cfg = small_config(1);
+  core::MedeaSystem sys(cfg);
+  std::uint32_t got = 0;
+  sys.set_program(0, store_then_load(sys.core(0), sys.private_addr(0, 0x40),
+                                     0xABCD1234, &got));
+  sys.run();
+  EXPECT_EQ(got, 0xABCD1234u);
+}
+
+TEST(System, WriteBackDirtyDataReachesMemoryOnFlush) {
+  core::MedeaConfig cfg = small_config(1);
+  core::MedeaSystem sys(cfg);
+  const mem::Addr a = sys.private_addr(0, 0x100);
+  auto prog = [](pe::ProcessingElement& pe, mem::Addr addr) -> sim::Task<> {
+    co_await pe.store(addr, 777);
+    co_await pe.flush_line(addr);
+  };
+  sys.set_program(0, prog(sys.core(0), a));
+  sys.run();
+  // After an explicit flush the value must be visible behind the MPMMU
+  // (possibly in its cache, hence the coherent read).
+  EXPECT_EQ(sys.coherent_read_word(a), 777u);
+}
+
+TEST(System, UncachedAccessBypassesL1) {
+  core::MedeaConfig cfg = small_config(1);
+  core::MedeaSystem sys(cfg);
+  const mem::Addr a = sys.alloc_shared(64);
+  auto prog = [](pe::ProcessingElement& pe, mem::Addr addr,
+                 std::uint32_t* out) -> sim::Task<> {
+    co_await pe.store_uncached(addr, 31415);
+    co_await pe.fence();
+    auto r = co_await pe.load_uncached(addr);
+    *out = static_cast<std::uint32_t>(r.value);
+  };
+  std::uint32_t got = 0;
+  sys.set_program(0, prog(sys.core(0), a, &got));
+  sys.run();
+  EXPECT_EQ(got, 31415u);
+  EXPECT_EQ(sys.core(0).cache().stats().get("cache.read_hits"), 0u);
+  EXPECT_EQ(sys.core(0).cache().stats().get("cache.read_misses"), 0u);
+}
+
+TEST(System, DoubleLoadStoreRoundTrip) {
+  core::MedeaConfig cfg = small_config(1);
+  core::MedeaSystem sys(cfg);
+  const mem::Addr a = sys.private_addr(0, 0x80);
+  double got = 0.0;
+  auto prog = [](pe::ProcessingElement& pe, mem::Addr addr,
+                 double* out) -> sim::Task<> {
+    co_await pe.store_double(addr, -12.75);
+    auto r = co_await pe.load_double(addr);
+    *out = mem::make_double(static_cast<std::uint32_t>(r.value),
+                            static_cast<std::uint32_t>(r.value >> 32));
+  };
+  sys.set_program(0, prog(sys.core(0), a, &got));
+  sys.run();
+  EXPECT_DOUBLE_EQ(got, -12.75);
+}
+
+// Producer/consumer through shared memory with the paper's §II-E
+// discipline: producer stores + flushes; consumer invalidates + loads.
+TEST(System, SharedMemoryFlushInvalidateDiscipline) {
+  core::MedeaConfig cfg = small_config(2);
+  core::MedeaSystem sys(cfg);
+  const mem::Addr data = sys.alloc_shared(64, 16);
+  const mem::Addr flag = sys.alloc_shared(64, 16);
+
+  auto producer = [](pe::ProcessingElement& pe, mem::Addr d,
+                     mem::Addr f) -> sim::Task<> {
+    co_await pe.store(d, 4242);
+    co_await pe.flush_line(d);
+    co_await pe.store_uncached(f, 1);  // signal
+  };
+  auto consumer = [](pe::ProcessingElement& pe, mem::Addr d, mem::Addr f,
+                     std::uint32_t* out) -> sim::Task<> {
+    for (;;) {
+      auto s = co_await pe.load_uncached(f);
+      if (s.value == 1) break;
+      co_await pe.compute(8);
+    }
+    co_await pe.invalidate_line(d);
+    auto r = co_await pe.load(d);
+    *out = static_cast<std::uint32_t>(r.value);
+  };
+  std::uint32_t got = 0;
+  sys.set_program(0, producer(sys.core(0), data, flag));
+  sys.set_program(1, consumer(sys.core(1), data, flag, &got));
+  sys.run();
+  EXPECT_EQ(got, 4242u);
+}
+
+// ---------------------------------------------------------------------
+// Lock/unlock critical sections
+// ---------------------------------------------------------------------
+
+sim::Task<> incrementer(pe::ProcessingElement& pe, mem::Addr lock_word,
+                        mem::Addr counter, int times) {
+  for (int i = 0; i < times; ++i) {
+    co_await pe.lock(lock_word);
+    auto v = co_await pe.load_uncached(counter);
+    co_await pe.store_uncached(counter,
+                               static_cast<std::uint32_t>(v.value) + 1);
+    co_await pe.unlock(lock_word);
+  }
+}
+
+TEST(System, LockProtectedCounterIsRaceFree) {
+  core::MedeaConfig cfg = small_config(4);
+  core::MedeaSystem sys(cfg);
+  const mem::Addr lock_word = sys.alloc_shared(16, 16);
+  const mem::Addr counter = sys.alloc_shared(16, 16);
+  const int per_core = 10;
+  for (int r = 0; r < 4; ++r) {
+    sys.set_program(r, incrementer(sys.core(r), lock_word, counter, per_core));
+  }
+  sys.run();
+  EXPECT_EQ(sys.coherent_read_word(counter), 4u * per_core);
+  EXPECT_EQ(sys.mpmmu().stats().get("mpmmu.locks_granted"), 4u * per_core);
+  EXPECT_EQ(sys.mpmmu().stats().get("mpmmu.unlocks"), 4u * per_core);
+}
+
+// ---------------------------------------------------------------------
+// Message passing end to end
+// ---------------------------------------------------------------------
+
+TEST(System, MpSendRecvCarriesData) {
+  core::MedeaConfig cfg = small_config(2);
+  core::MedeaSystem sys(cfg);
+  auto sender = [](pe::ProcessingElement& pe, int dst) -> sim::Task<> {
+    std::vector<std::uint32_t> msg{1, 2, 3, 4};
+    co_await pe.mp_send(dst, std::move(msg));
+  };
+  auto receiver = [](pe::ProcessingElement& pe, int src,
+                     std::vector<std::uint32_t>* out) -> sim::Task<> {
+    auto r = co_await pe.mp_recv(src);
+    *out = r.words;
+  };
+  std::vector<std::uint32_t> got;
+  sys.set_program(0, sender(sys.core(0), sys.node_of_rank(1)));
+  sys.set_program(1, receiver(sys.core(1), sys.node_of_rank(0), &got));
+  sys.run();
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(System, MpLatencyFarBelowSharedMemoryRoundTrip) {
+  // The paper's core claim: explicit MP synchronization is much cheaper
+  // than going through the memory hierarchy.
+  core::MedeaConfig cfg = small_config(2);
+  core::MedeaSystem sys(cfg);
+  sim::Cycle mp_done = 0, sm_done = 0;
+
+  auto mp_ping = [](pe::ProcessingElement& pe, int dst) -> sim::Task<> {
+    std::vector<std::uint32_t> msg{7};
+    co_await pe.mp_send(dst, std::move(msg));
+  };
+  auto mp_pong = [](pe::ProcessingElement& pe, int src,
+                    sim::Cycle* done) -> sim::Task<> {
+    co_await pe.mp_recv(src);
+    *done = pe.now();
+  };
+  sys.set_program(0, mp_ping(sys.core(0), sys.node_of_rank(1)));
+  sys.set_program(1, mp_pong(sys.core(1), sys.node_of_rank(0), &mp_done));
+  sys.run();
+
+  core::MedeaSystem sys2(cfg);
+  const mem::Addr flag = sys2.alloc_shared(16, 16);
+  auto sm_ping = [](pe::ProcessingElement& pe, mem::Addr f) -> sim::Task<> {
+    co_await pe.store_uncached(f, 7);
+  };
+  auto sm_pong = [](pe::ProcessingElement& pe, mem::Addr f,
+                    sim::Cycle* done) -> sim::Task<> {
+    for (;;) {
+      auto v = co_await pe.load_uncached(f);
+      if (v.value == 7) break;
+    }
+    *done = pe.now();
+  };
+  sys2.set_program(0, sm_ping(sys2.core(0), flag));
+  sys2.set_program(1, sm_pong(sys2.core(1), flag, &sm_done));
+  sys2.run();
+
+  EXPECT_LT(mp_done, sm_done);
+}
+
+TEST(System, DeadlockedReceiveIsDiagnosed) {
+  core::MedeaConfig cfg = small_config(2);
+  core::MedeaSystem sys(cfg);
+  auto waiter = [](pe::ProcessingElement& pe, int src) -> sim::Task<> {
+    co_await pe.mp_recv(src);  // nobody ever sends
+  };
+  auto idler = [](pe::ProcessingElement& pe) -> sim::Task<> {
+    co_await pe.compute(10);
+  };
+  sys.set_program(0, waiter(sys.core(0), sys.node_of_rank(1)));
+  sys.set_program(1, idler(sys.core(1)));
+  EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+TEST(System, DeterministicCycleCounts) {
+  auto run_once = [] {
+    core::MedeaConfig cfg = small_config(4);
+    core::MedeaSystem sys(cfg);
+    for (int r = 0; r < 4; ++r) {
+      auto prog = [](pe::ProcessingElement& pe, core::MedeaSystem& s,
+                     int rank) -> sim::Task<> {
+        const mem::Addr a = s.private_addr(rank, 0);
+        for (int i = 0; i < 16; ++i) {
+          co_await pe.store(a + static_cast<mem::Addr>(i) * 8, 1u);
+        }
+        std::vector<std::uint32_t> msg{9};
+        co_await pe.mp_send(s.node_of_rank((rank + 1) % 4), std::move(msg));
+        co_await pe.mp_recv(s.node_of_rank((rank + 3) % 4));
+      };
+      sys.set_program(r, prog(sys.core(r), sys, r));
+    }
+    return sys.run();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace medea
