@@ -3,46 +3,55 @@
 /// under a workload that mixes shared-memory and message-passing traffic
 /// (the hybrid Jacobi run, which exercises both interfaces).
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "apps/jacobi.h"
 #include "core/medea.h"
 #include "dse/sweep.h"
+#include "harness.h"
 
 using namespace medea;
 
 namespace {
 
-void BM_ArbiterKind(benchmark::State& state) {
-  const auto kind = static_cast<pe::ArbiterKind>(state.range(0));
-  const int cores = static_cast<int>(state.range(1));
-  double cycles = 0.0;
-  std::uint64_t contention = 0;
-  for (auto _ : state) {
-    core::MedeaConfig cfg =
-        dse::make_design_config(cores, 4, mem::WritePolicy::kWriteBack);
-    cfg.arbiter.kind = kind;
-    core::MedeaSystem sys(cfg);
-    apps::JacobiParams p;
-    p.n = 30;  // 4 kB caches + 30x30: real miss traffic alongside MP
-    p.variant = apps::JacobiVariant::kHybridMp;
-    const auto res = apps::run_jacobi(sys, p);
-    cycles = res.cycles_per_iteration;
-    contention = sys.aggregate_stats().get("arb.contention");
-    benchmark::DoNotOptimize(res.checksum);
-  }
-  state.SetLabel(pe::to_string(kind));
-  state.counters["cycles_per_iter"] = cycles;
-  state.counters["arb_contention"] = static_cast<double>(contention);
+bench::Measurement arbiter_case(const bench::RunOptions& opt,
+                                pe::ArbiterKind kind, int cores) {
+  double cycles_per_iter = 0.0;
+  double contention = 0.0;
+  auto m = bench::run_case(
+      std::string(pe::to_string(kind)) + "/" + std::to_string(cores) + "c",
+      "arbiter=" + std::string(pe::to_string(kind)) +
+          " cores=" + std::to_string(cores) +
+          " l1_kb=4 policy=WB variant=hybrid_mp n=30",
+      opt, [&] {
+        core::MedeaConfig cfg =
+            dse::make_design_config(cores, 4, mem::WritePolicy::kWriteBack);
+        cfg.arbiter.kind = kind;
+        core::MedeaSystem sys(cfg);
+        apps::JacobiParams p;
+        p.n = 30;  // 4 kB caches + 30x30: real miss traffic alongside MP
+        p.variant = apps::JacobiVariant::kHybridMp;
+        const auto res = apps::run_jacobi(sys, p);
+        cycles_per_iter = res.cycles_per_iteration;
+        contention =
+            static_cast<double>(sys.aggregate_stats().get("arb.contention"));
+        return res.total_cycles;
+      });
+  m.metric("cycles_per_iter", cycles_per_iter);
+  m.metric("arb_contention", contention);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_ArbiterKind)
-    ->ArgsProduct({{static_cast<int>(pe::ArbiterKind::kMux),
-                    static_cast<int>(pe::ArbiterKind::kSingleFifo),
-                    static_cast<int>(pe::ArbiterKind::kDualFifo)},
-                   {4, 10}})
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("arbiter", argc, argv);
+  for (auto kind : {pe::ArbiterKind::kMux, pe::ArbiterKind::kSingleFifo,
+                    pe::ArbiterKind::kDualFifo}) {
+    for (int cores : {4, 10}) {
+      report.add(arbiter_case(report.options(), kind, cores));
+    }
+  }
+  return report.finish();
+}

@@ -2,93 +2,106 @@
 /// cache size, associativity and policy on stencil-like access patterns —
 /// the mechanism behind Fig. 6's lower knee.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
+#include "harness.h"
 #include "mem/cache.h"
 
+using namespace medea;
 using namespace medea::mem;
 
 namespace {
 
 /// Sweep a row-major working set the way the Jacobi inner loop does
 /// (N/S/W/E neighbours per point) and return the steady-state miss count.
-void BM_StencilMissRate(benchmark::State& state) {
-  const auto cache_kb = static_cast<std::uint32_t>(state.range(0));
-  const auto ways = static_cast<std::uint32_t>(state.range(1));
+bench::Measurement stencil_miss_rate(const bench::RunOptions& opt,
+                                     std::uint32_t cache_kb,
+                                     std::uint32_t ways) {
   const int n = 60;  // grid edge (doubles)
   CacheConfig cfg{cache_kb * 1024, kLineBytes, ways, WritePolicy::kWriteBack};
-
   double miss_rate = 0.0;
-  for (auto _ : state) {
-    Cache cache(cfg);
-    auto access = [&](int r, int c) {
-      const Addr a = static_cast<Addr>(r) * n * 8 + static_cast<Addr>(c) * 8;
-      for (Addr w = a; w < a + 8; w += kWordBytes) {
-        if (!cache.read_word(w).has_value()) cache.fill_line(w, {});
-      }
-    };
-    // warm-up sweep + measured sweep
-    for (int pass = 0; pass < 2; ++pass) {
-      if (pass == 1) cache.stats().clear();
-      for (int r = 1; r < n - 1; ++r) {
-        for (int c = 1; c < n - 1; ++c) {
-          access(r - 1, c);
-          access(r + 1, c);
-          access(r, c - 1);
-          access(r, c + 1);
+  auto m = bench::run_case(
+      "stencil_miss/" + std::to_string(cache_kb) + "kB_" +
+          std::to_string(ways) + "w",
+      "l1_kb=" + std::to_string(cache_kb) + " ways=" + std::to_string(ways) +
+          " policy=WB n=60",
+      opt, [&] {
+        Cache cache(cfg);
+        auto access = [&](int r, int c) {
+          const Addr a =
+              static_cast<Addr>(r) * n * 8 + static_cast<Addr>(c) * 8;
+          for (Addr w = a; w < a + 8; w += kWordBytes) {
+            if (!cache.read_word(w).has_value()) cache.fill_line(w, {});
+          }
+        };
+        // warm-up sweep + measured sweep
+        for (int pass = 0; pass < 2; ++pass) {
+          if (pass == 1) cache.stats().clear();
+          for (int r = 1; r < n - 1; ++r) {
+            for (int c = 1; c < n - 1; ++c) {
+              access(r - 1, c);
+              access(r + 1, c);
+              access(r, c - 1);
+              access(r, c + 1);
+            }
+          }
         }
-      }
-    }
-    const double hits = static_cast<double>(cache.stats().get("cache.read_hits"));
-    const double misses =
-        static_cast<double>(cache.stats().get("cache.read_misses"));
-    miss_rate = misses / (hits + misses);
-    benchmark::DoNotOptimize(miss_rate);
-  }
-  state.counters["miss_rate"] = miss_rate;
-  state.counters["kB"] = cache_kb;
-  state.counters["ways"] = ways;
+        const double hits =
+            static_cast<double>(cache.stats().get("cache.read_hits"));
+        const double misses =
+            static_cast<double>(cache.stats().get("cache.read_misses"));
+        miss_rate = misses / (hits + misses);
+        return std::uint64_t{0};  // no simulated clock in this micro-bench
+      });
+  m.metric("miss_rate", miss_rate);
+  return m;
 }
 
-void BM_WritePolicyTraffic(benchmark::State& state) {
+bench::Measurement write_policy_traffic(const bench::RunOptions& opt,
+                                        WritePolicy policy) {
   // Memory-bound traffic per policy: count transactions a row-major
   // write sweep generates (write-backs vs write-throughs).
-  const auto policy = static_cast<WritePolicy>(state.range(0));
   CacheConfig cfg{8 * 1024, kLineBytes, 2, policy};
   double mem_writes = 0.0;
-  for (auto _ : state) {
-    Cache cache(cfg);
-    std::uint64_t traffic = 0;
-    for (int rep = 0; rep < 4; ++rep) {
-      for (Addr a = 0; a < 32 * 1024; a += 8) {
-        if (policy == WritePolicy::kWriteBack) {
-          if (!cache.write_word(a, 1)) {
-            if (cache.fill_line(a, {}).has_value()) ++traffic;  // victim WB
-            cache.poke_word(a, 1, true);
+  auto m = bench::run_case(
+      std::string("write_traffic/") + to_string(policy),
+      std::string("l1_kb=8 ways=2 policy=") + to_string(policy), opt, [&] {
+        Cache cache(cfg);
+        std::uint64_t traffic = 0;
+        for (int rep = 0; rep < 4; ++rep) {
+          for (Addr a = 0; a < 32 * 1024; a += 8) {
+            if (policy == WritePolicy::kWriteBack) {
+              if (!cache.write_word(a, 1)) {
+                if (cache.fill_line(a, {}).has_value()) ++traffic;  // victim WB
+                cache.poke_word(a, 1, true);
+              }
+            } else {
+              cache.write_word(a, 1);
+              ++traffic;  // every store goes to memory
+            }
           }
-        } else {
-          cache.write_word(a, 1);
-          ++traffic;  // every store goes to memory
         }
-      }
-    }
-    // Flush the dirty remainder (WB).
-    traffic += cache.flush_all().size();
-    mem_writes = static_cast<double>(traffic);
-    benchmark::DoNotOptimize(mem_writes);
-  }
-  state.counters["mem_write_txns"] = mem_writes;
+        // Flush the dirty remainder (WB).
+        traffic += cache.flush_all().size();
+        mem_writes = static_cast<double>(traffic);
+        return std::uint64_t{0};
+      });
+  m.metric("mem_write_txns", mem_writes);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_StencilMissRate)
-    ->ArgsProduct({{2, 4, 8, 16, 32, 64}, {1, 2, 4}})
-    ->Unit(benchmark::kMicrosecond);
-
-BENCHMARK(BM_WritePolicyTraffic)
-    ->Arg(static_cast<int>(WritePolicy::kWriteBack))
-    ->Arg(static_cast<int>(WritePolicy::kWriteThrough))
-    ->Unit(benchmark::kMicrosecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("cache", argc, argv);
+  for (std::uint32_t kb : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (std::uint32_t ways : {1u, 2u, 4u}) {
+      report.add(stencil_miss_rate(report.options(), kb, ways));
+    }
+  }
+  report.add(write_policy_traffic(report.options(), WritePolicy::kWriteBack));
+  report.add(
+      write_policy_traffic(report.options(), WritePolicy::kWriteThrough));
+  return report.finish();
+}

@@ -2,9 +2,12 @@
 /// the TIE message-passing path and barrier cost versus core count — the
 /// low-latency synchronization the paper's hybrid model is built on.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/medea.h"
+#include "harness.h"
 
 using namespace medea;
 
@@ -30,23 +33,25 @@ sim::Task<> pingpong_b(pe::ProcessingElement& pe, int peer, int rounds,
   }
 }
 
-void BM_PingPong(benchmark::State& state) {
-  const int words = static_cast<int>(state.range(0));
+bench::Measurement pingpong(const bench::RunOptions& opt, int words) {
   const int rounds = 50;
   sim::Cycle cycles = 0;
-  for (auto _ : state) {
-    core::MedeaConfig cfg;
-    cfg.num_compute_cores = 2;
-    core::MedeaSystem sys(cfg);
-    sys.set_program(0, pingpong_a(sys.core(0), sys.node_of_rank(1), rounds,
-                                  words, &cycles));
-    sys.set_program(1,
-                    pingpong_b(sys.core(1), sys.node_of_rank(0), rounds, words));
-    sys.run();
-  }
-  state.counters["cycles_per_roundtrip"] =
-      static_cast<double>(cycles) / rounds;
-  state.counters["payload_words"] = words;
+  auto m = bench::run_case(
+      "pingpong/" + std::to_string(words) + "w",
+      "payload_words=" + std::to_string(words) +
+          " rounds=" + std::to_string(rounds) + " cores=2",
+      opt, [&] {
+        core::MedeaConfig cfg;
+        cfg.num_compute_cores = 2;
+        core::MedeaSystem sys(cfg);
+        sys.set_program(0, pingpong_a(sys.core(0), sys.node_of_rank(1), rounds,
+                                      words, &cycles));
+        sys.set_program(
+            1, pingpong_b(sys.core(1), sys.node_of_rank(0), rounds, words));
+        return sys.run();
+      });
+  m.metric("cycles_per_roundtrip", static_cast<double>(cycles) / rounds);
+  return m;
 }
 
 sim::Task<> barrier_loop(pe::ProcessingElement& pe, std::vector<int> members,
@@ -56,29 +61,35 @@ sim::Task<> barrier_loop(pe::ProcessingElement& pe, std::vector<int> members,
   if (cycles != nullptr) *cycles = pe.now() - t0;
 }
 
-void BM_Barrier(benchmark::State& state) {
-  const int cores = static_cast<int>(state.range(0));
+bench::Measurement barrier(const bench::RunOptions& opt, int cores) {
   const int rounds = 20;
   sim::Cycle cycles = 0;
-  for (auto _ : state) {
-    core::MedeaConfig cfg;
-    cfg.num_compute_cores = cores;
-    core::MedeaSystem sys(cfg);
-    for (int r = 0; r < cores; ++r) {
-      sys.set_program(r, barrier_loop(sys.core(r), sys.core_nodes(), rounds,
-                                      r == 0 ? &cycles : nullptr));
-    }
-    sys.run();
-  }
-  state.counters["cycles_per_barrier"] = static_cast<double>(cycles) / rounds;
-  state.counters["cores"] = cores;
+  auto m = bench::run_case(
+      "barrier/" + std::to_string(cores) + "c",
+      "cores=" + std::to_string(cores) + " rounds=" + std::to_string(rounds),
+      opt, [&] {
+        core::MedeaConfig cfg;
+        cfg.num_compute_cores = cores;
+        core::MedeaSystem sys(cfg);
+        for (int r = 0; r < cores; ++r) {
+          sys.set_program(r, barrier_loop(sys.core(r), sys.core_nodes(),
+                                          rounds, r == 0 ? &cycles : nullptr));
+        }
+        return sys.run();
+      });
+  m.metric("cycles_per_barrier", static_cast<double>(cycles) / rounds);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_PingPong)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->Arg(15)
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("empi", argc, argv);
+  for (int words : {1, 4, 16, 64}) {
+    report.add(pingpong(report.options(), words));
+  }
+  for (int cores : {2, 4, 8, 15}) {
+    report.add(barrier(report.options(), cores));
+  }
+  return report.finish();
+}

@@ -18,12 +18,14 @@
 
 #include "dse/report.h"
 #include "dse/sweep.h"
+#include "harness.h"
+#include "sweep_case.h"
 
 using namespace medea;
 
 int main(int argc, char** argv) {
   int n = argc > 1 ? std::atoi(argv[1]) : 60;
-  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. benchmark flags)
+  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. harness flags)
   std::printf("# Fig. 6 — Jacobi execution time per iteration, %dx%d array\n",
               n, n);
   std::printf("# (cycles; hybrid MP variant; 4x4 folded torus, 1 MPMMU)\n");
@@ -35,7 +37,19 @@ int main(int argc, char** argv) {
   spec.cache_kb = cache_kb;
   spec.warmup_iterations = 1;
   spec.timed_iterations = 1;
-  const auto points = dse::run_sweep(spec);
+
+  // The sweep is deterministic in simulated cycles: one timed repetition.
+  bench::Report report("fig6_exec_time_" + std::to_string(n) + "x" +
+                           std::to_string(n),
+                       argc, argv,
+                       bench::RunOptions{.warmup = 0, .repetitions = 1});
+
+  std::vector<dse::SweepPoint> points;
+  auto m = bench::sweep_case(
+      "sweep/" + std::to_string(n) + "x" + std::to_string(n),
+      "n=" + std::to_string(n) + " cores=2..15 l1_kb=2..64 policy=WB+WT "
+                                 "variant=hybrid_mp",
+      report.options(), spec, points);
 
   // Index results: [policy][cache][cores]
   auto find = [&](int cores, std::uint32_t kb, mem::WritePolicy pol) {
@@ -62,6 +76,11 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Track the paper's reference points in the perf trajectory.
+  m.metric("cycles_8c_16kB_WB", find(8, 16, mem::WritePolicy::kWriteBack));
+  m.metric("cycles_15c_64kB_WB", find(15, 64, mem::WritePolicy::kWriteBack));
+  report.add(std::move(m));
+
   // With MEDEA_REPORT_DIR set, also emit gnuplot artifacts reproducing
   // the figure ("gnuplot fig6.gp") plus a CSV of the raw sweep.
   if (const char* dir = std::getenv("MEDEA_REPORT_DIR")) {
@@ -75,5 +94,5 @@ int main(int argc, char** argv) {
     dse::write_file(base + ".csv", dse::to_csv(points));
     std::printf("# artifacts written to %s.{dat,gp,csv}\n", base.c_str());
   }
-  return 0;
+  return report.finish();
 }

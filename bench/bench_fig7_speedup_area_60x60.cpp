@@ -12,21 +12,35 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "dse/pareto.h"
 #include "dse/report.h"
 #include "dse/sweep.h"
+#include "harness.h"
+#include "sweep_case.h"
 
 using namespace medea;
 
 int main(int argc, char** argv) {
   int n = argc > 1 ? std::atoi(argv[1]) : 60;
-  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. benchmark flags)
+  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. harness flags)
   std::printf("# Fig. 7 — optimal speedup vs chip area, %dx%d array\n", n, n);
 
   dse::SweepSpec spec;
   spec.n = n;
-  const auto points = dse::run_sweep(spec);
+
+  bench::Report report("fig7_speedup_area_" + std::to_string(n) + "x" +
+                           std::to_string(n),
+                       argc, argv,
+                       bench::RunOptions{.warmup = 0, .repetitions = 1});
+
+  std::vector<dse::SweepPoint> points;
+  auto m = bench::sweep_case(
+      "sweep/" + std::to_string(n) + "x" + std::to_string(n),
+      "n=" + std::to_string(n) + " full design space, Pareto + Kill rule",
+      report.options(), spec, points);
+
   auto design = dse::to_design_points(points);
   const auto frontier = dse::pareto_frontier(design);
 
@@ -46,6 +60,11 @@ int main(int argc, char** argv) {
               frontier[knee].label.c_str(), frontier[knee].area_mm2,
               baseline / frontier[knee].exec_cycles);
 
+  m.metric("frontier_points", static_cast<double>(frontier.size()));
+  m.metric("knee_area_mm2", frontier[knee].area_mm2);
+  m.metric("knee_speedup", baseline / frontier[knee].exec_cycles);
+  report.add(std::move(m));
+
   if (const char* dir = std::getenv("MEDEA_REPORT_DIR")) {
     const std::string base = std::string(dir) + "/fig7_" + std::to_string(n);
     dse::write_file(base + ".dat", dse::speedup_dat(curve));
@@ -56,5 +75,5 @@ int main(int argc, char** argv) {
                                         std::to_string(n)));
     std::printf("# artifacts written to %s.{dat,gp}\n", base.c_str());
   }
-  return 0;
+  return report.finish();
 }

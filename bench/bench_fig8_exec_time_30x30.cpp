@@ -5,15 +5,18 @@
 /// properly sized; the 30x30 case needs at least 4 kB — 4x less than the
 /// 60x60 case because the array is 4x smaller.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "dse/sweep.h"
+#include "harness.h"
+#include "sweep_case.h"
 
 using namespace medea;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("# Fig. 8 — Jacobi execution time per iteration, 30x30 array, "
               "write-back only\n");
 
@@ -21,7 +24,14 @@ int main() {
   spec.n = 30;
   spec.cache_kb = {2, 4, 8, 16, 32};
   spec.policies = {mem::WritePolicy::kWriteBack};
-  const auto points = dse::run_sweep(spec);
+
+  bench::Report report("fig8_exec_time_30x30", argc, argv,
+                       bench::RunOptions{.warmup = 0, .repetitions = 1});
+
+  std::vector<dse::SweepPoint> points;
+  auto m = bench::sweep_case(
+      "sweep/30x30", "n=30 cores=2..15 l1_kb=2..32 policy=WB variant=hybrid_mp",
+      report.options(), spec, points);
 
   auto find = [&](int cores, std::uint32_t kb) {
     for (const auto& p : points) {
@@ -60,9 +70,13 @@ int main() {
       if (p.cycles_per_iteration <= best * 1.25) {
         std::printf("  %dx%d: %uk$ (best=%.0f cycles)\n", n, n, p.cache_kb,
                     best);
+        m.metric("knee_cache_kb_" + std::to_string(n) + "x" +
+                     std::to_string(n),
+                 p.cache_kb);
         break;
       }
     }
   }
-  return 0;
+  report.add(std::move(m));
+  return report.finish();
 }

@@ -5,18 +5,29 @@
 /// count; the Kill-rule knee falls at or beyond 15 cores.
 
 #include <cstdio>
+#include <vector>
 
 #include "dse/pareto.h"
 #include "dse/sweep.h"
+#include "harness.h"
+#include "sweep_case.h"
 
 using namespace medea;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("# Fig. 9 — optimal speedup vs chip area, 30x30 array\n");
 
   dse::SweepSpec spec;
   spec.n = 30;
-  const auto points = dse::run_sweep(spec);
+
+  bench::Report report("fig9_speedup_area_30x30", argc, argv,
+                       bench::RunOptions{.warmup = 0, .repetitions = 1});
+
+  std::vector<dse::SweepPoint> points;
+  auto m = bench::sweep_case("sweep/30x30",
+                             "n=30 full design space, Pareto + Kill rule",
+                             report.options(), spec, points);
+
   auto design = dse::to_design_points(points);
   const auto frontier = dse::pareto_frontier(design);
   const double baseline = frontier.front().exec_cycles;
@@ -33,5 +44,10 @@ int main() {
   std::printf("\n# Kill-rule optimum: %s at %.2f mm2 (speedup %.1f)\n",
               frontier[knee].label.c_str(), frontier[knee].area_mm2,
               baseline / frontier[knee].exec_cycles);
-  return 0;
+
+  m.metric("frontier_points", static_cast<double>(frontier.size()));
+  m.metric("knee_area_mm2", frontier[knee].area_mm2);
+  m.metric("knee_speedup", baseline / frontier[knee].exec_cycles);
+  report.add(std::move(m));
+  return report.finish();
 }

@@ -15,19 +15,22 @@
 ///  * => at least 100*2.8/5 = 56% of the peak 5x gain comes from
 ///    synchronization alone.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "apps/jacobi.h"
 #include "core/medea.h"
 #include "dse/sweep.h"
+#include "harness.h"
 
 using namespace medea;
 
 namespace {
 
 double run_variant(int n, int cores, std::uint32_t cache_kb,
-                   apps::JacobiVariant v) {
+                   apps::JacobiVariant v, std::uint64_t* total_cycles) {
   core::MedeaSystem sys(
       dse::make_design_config(cores, cache_kb, mem::WritePolicy::kWriteBack));
   apps::JacobiParams p;
@@ -35,26 +38,42 @@ double run_variant(int n, int cores, std::uint32_t cache_kb,
   p.variant = v;
   p.warmup_iterations = 1;
   p.timed_iterations = 1;
-  return apps::run_jacobi(sys, p).cycles_per_iteration;
+  const auto res = apps::run_jacobi(sys, p);
+  *total_cycles += res.total_cycles;
+  return res.cycles_per_iteration;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int n = argc > 1 ? std::atoi(argv[1]) : 60;
-  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. benchmark flags)
+  if (n < 4) n = 60;  // ignore non-numeric argv (e.g. harness flags)
   std::printf("# Hybrid vs shared memory, %dx%d array, write-back\n", n, n);
   std::printf("%-5s %-6s %10s %12s %10s %9s %9s %12s\n", "cores", "L1",
               "hybridMP", "sync-only", "pureSM", "mp/sm", "sync/sm",
               "sync_share");
 
+  bench::Report report("hybrid_vs_sm", argc, argv,
+                       bench::RunOptions{.warmup = 0, .repetitions = 1});
+
   for (std::uint32_t kb : {4u, 16u}) {
     for (int cores : {2, 4, 6, 8, 10, 12, 15}) {
-      const double mp = run_variant(n, cores, kb, apps::JacobiVariant::kHybridMp);
-      const double so =
-          run_variant(n, cores, kb, apps::JacobiVariant::kHybridSyncOnly);
-      const double sm =
-          run_variant(n, cores, kb, apps::JacobiVariant::kPureSharedMemory);
+      double mp = 0.0, so = 0.0, sm = 0.0;
+      auto m = bench::run_case(
+          std::to_string(cores) + "c_" + std::to_string(kb) + "kB",
+          "cores=" + std::to_string(cores) + " l1_kb=" + std::to_string(kb) +
+              " policy=WB n=" + std::to_string(n) +
+              " variants=hybrid_mp,sync_only,pure_sm",
+          report.options(), [&] {
+            std::uint64_t total = 0;
+            mp = run_variant(n, cores, kb, apps::JacobiVariant::kHybridMp,
+                             &total);
+            so = run_variant(n, cores, kb,
+                             apps::JacobiVariant::kHybridSyncOnly, &total);
+            sm = run_variant(n, cores, kb,
+                             apps::JacobiVariant::kPureSharedMemory, &total);
+            return total;
+          });
       // Fraction of the full-MP gain attributable to synchronization
       // alone (paper: >= 56% at the 5x peak, up to 100% in the 2x cases).
       // Only meaningful where the hybrid actually gains.
@@ -68,7 +87,13 @@ int main(int argc, char** argv) {
       std::printf("%-5d %-6s %10.0f %12.0f %10.0f %8.2fx %8.2fx %11s\n",
                   cores, (std::to_string(kb) + "kB").c_str(), mp, so, sm,
                   sm / mp, sm / so, share);
+      m.metric("cycles_hybrid_mp", mp);
+      m.metric("cycles_sync_only", so);
+      m.metric("cycles_pure_sm", sm);
+      m.metric("speedup_mp_vs_sm", sm / mp);
+      m.metric("speedup_sync_vs_sm", sm / so);
+      report.add(std::move(m));
     }
   }
-  return 0;
+  return report.finish();
 }

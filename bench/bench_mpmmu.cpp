@@ -2,11 +2,13 @@
 /// work): effect of the local cache and of DDR latency on shared-memory
 /// service time, and the serialization behaviour under multi-core load.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "apps/jacobi.h"
 #include "core/medea.h"
 #include "dse/sweep.h"
+#include "harness.h"
 
 using namespace medea;
 
@@ -14,69 +16,95 @@ namespace {
 
 /// Pure-shared-memory Jacobi — every byte moves through the MPMMU — with
 /// the MPMMU cache on or off.
-void BM_MpmmuCacheEffect(benchmark::State& state) {
-  const bool use_cache = state.range(0) != 0;
-  const int cores = static_cast<int>(state.range(1));
-  double cycles = 0.0;
-  for (auto _ : state) {
-    core::MedeaConfig cfg =
-        dse::make_design_config(cores, 16, mem::WritePolicy::kWriteBack);
-    cfg.mpmmu.use_cache = use_cache;
-    core::MedeaSystem sys(cfg);
-    apps::JacobiParams p;
-    p.n = 30;
-    p.variant = apps::JacobiVariant::kPureSharedMemory;
-    cycles = apps::run_jacobi(sys, p).cycles_per_iteration;
-  }
-  state.SetLabel(use_cache ? "mpmmu-cache" : "ddr-only");
-  state.counters["cycles_per_iter"] = cycles;
+bench::Measurement mpmmu_cache_effect(const bench::RunOptions& opt,
+                                      bool use_cache, int cores) {
+  const char* label = use_cache ? "mpmmu-cache" : "ddr-only";
+  double cycles_per_iter = 0.0;
+  auto m = bench::run_case(
+      std::string("cache_effect/") + label + "/" + std::to_string(cores) + "c",
+      std::string("mpmmu_cache=") + (use_cache ? "on" : "off") +
+          " cores=" + std::to_string(cores) +
+          " l1_kb=16 policy=WB variant=pure_sm n=30",
+      opt, [&] {
+        core::MedeaConfig cfg =
+            dse::make_design_config(cores, 16, mem::WritePolicy::kWriteBack);
+        cfg.mpmmu.use_cache = use_cache;
+        core::MedeaSystem sys(cfg);
+        apps::JacobiParams p;
+        p.n = 30;
+        p.variant = apps::JacobiVariant::kPureSharedMemory;
+        const auto res = apps::run_jacobi(sys, p);
+        cycles_per_iter = res.cycles_per_iteration;
+        return res.total_cycles;
+      });
+  m.metric("cycles_per_iter", cycles_per_iter);
+  return m;
 }
 
 /// DDR latency sensitivity: the slave's memory round trip directly bounds
 /// the miss-dominated region of Fig. 6.
-void BM_DdrLatency(benchmark::State& state) {
-  const auto lat = static_cast<std::uint32_t>(state.range(0));
-  double cycles = 0.0;
-  for (auto _ : state) {
-    core::MedeaConfig cfg =
-        dse::make_design_config(8, 2, mem::WritePolicy::kWriteBack);
-    cfg.mpmmu.ddr.access_latency = lat;
-    core::MedeaSystem sys(cfg);
-    apps::JacobiParams p;
-    p.n = 30;
-    p.variant = apps::JacobiVariant::kHybridMp;  // 2 kB: heavy miss traffic
-    cycles = apps::run_jacobi(sys, p).cycles_per_iteration;
-  }
-  state.counters["ddr_latency"] = lat;
-  state.counters["cycles_per_iter"] = cycles;
+bench::Measurement ddr_latency(const bench::RunOptions& opt,
+                               std::uint32_t lat) {
+  double cycles_per_iter = 0.0;
+  auto m = bench::run_case(
+      "ddr_latency/" + std::to_string(lat),
+      "ddr_latency=" + std::to_string(lat) +
+          " cores=8 l1_kb=2 policy=WB variant=hybrid_mp n=30",
+      opt, [&] {
+        core::MedeaConfig cfg =
+            dse::make_design_config(8, 2, mem::WritePolicy::kWriteBack);
+        cfg.mpmmu.ddr.access_latency = lat;
+        core::MedeaSystem sys(cfg);
+        apps::JacobiParams p;
+        p.n = 30;
+        p.variant = apps::JacobiVariant::kHybridMp;  // 2 kB: heavy misses
+        const auto res = apps::run_jacobi(sys, p);
+        cycles_per_iter = res.cycles_per_iteration;
+        return res.total_cycles;
+      });
+  m.metric("cycles_per_iter", cycles_per_iter);
+  return m;
 }
 
 /// §IV "MPMMU optimization": pipelined reply streaming, on the workload
 /// it helps most (pure shared memory, read-heavy).
-void BM_PipelinedReplies(benchmark::State& state) {
-  const bool pipelined = state.range(0) != 0;
-  double cycles = 0.0;
-  for (auto _ : state) {
-    core::MedeaConfig cfg =
-        dse::make_design_config(10, 16, mem::WritePolicy::kWriteBack);
-    cfg.mpmmu.pipelined_replies = pipelined;
-    core::MedeaSystem sys(cfg);
-    apps::JacobiParams p;
-    p.n = 30;
-    p.variant = apps::JacobiVariant::kPureSharedMemory;
-    cycles = apps::run_jacobi(sys, p).cycles_per_iteration;
-  }
-  state.SetLabel(pipelined ? "pipelined" : "serial");
-  state.counters["cycles_per_iter"] = cycles;
+bench::Measurement pipelined_replies(const bench::RunOptions& opt,
+                                     bool pipelined) {
+  const char* label = pipelined ? "pipelined" : "serial";
+  double cycles_per_iter = 0.0;
+  auto m = bench::run_case(
+      std::string("replies/") + label,
+      std::string("pipelined_replies=") + (pipelined ? "on" : "off") +
+          " cores=10 l1_kb=16 policy=WB variant=pure_sm n=30",
+      opt, [&] {
+        core::MedeaConfig cfg =
+            dse::make_design_config(10, 16, mem::WritePolicy::kWriteBack);
+        cfg.mpmmu.pipelined_replies = pipelined;
+        core::MedeaSystem sys(cfg);
+        apps::JacobiParams p;
+        p.n = 30;
+        p.variant = apps::JacobiVariant::kPureSharedMemory;
+        const auto res = apps::run_jacobi(sys, p);
+        cycles_per_iter = res.cycles_per_iteration;
+        return res.total_cycles;
+      });
+  m.metric("cycles_per_iter", cycles_per_iter);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_MpmmuCacheEffect)
-    ->ArgsProduct({{0, 1}, {4, 10}})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_DdrLatency)->Arg(8)->Arg(24)->Arg(64)->Arg(128)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PipelinedReplies)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("mpmmu", argc, argv);
+  for (bool use_cache : {false, true}) {
+    for (int cores : {4, 10}) {
+      report.add(mpmmu_cache_effect(report.options(), use_cache, cores));
+    }
+  }
+  for (std::uint32_t lat : {8u, 24u, 64u, 128u}) {
+    report.add(ddr_latency(report.options(), lat));
+  }
+  report.add(pipelined_replies(report.options(), false));
+  report.add(pipelined_replies(report.options(), true));
+  return report.finish();
+}

@@ -2,12 +2,12 @@
 /// throughput and deflection behaviour under uniform-random traffic at
 /// increasing injection rates (ablation for the §II-A routing choice).
 
-#include <benchmark/benchmark.h>
-
-#include <deque>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "harness.h"
 #include "noc/network.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
@@ -70,41 +70,46 @@ class TrafficNode : public sim::Component {
   sim::Xoshiro256 rng_;
 };
 
-void BM_UniformRandomTraffic(benchmark::State& state) {
-  const double rate = static_cast<double>(state.range(0)) / 100.0;
-  double mean_latency = 0;
-  double mean_hops = 0;
-  std::uint64_t deflections = 0;
-  std::uint64_t delivered = 0;
-  for (auto _ : state) {
-    sim::Scheduler sched;
-    noc::Network net(sched, noc::TorusGeometry(4, 4));
-    std::vector<std::unique_ptr<TrafficNode>> nodes;
-    for (int i = 0; i < net.num_nodes(); ++i) {
-      nodes.push_back(std::make_unique<TrafficNode>(
-          sched, net, i, rate, 500, 42 + static_cast<std::uint64_t>(i)));
-    }
-    sched.run(10'000'000);
-    mean_latency = net.stats().acc("noc.latency").mean();
-    mean_hops = net.stats().acc("noc.hops").mean();
-    deflections = net.stats().get("noc.deflections_total");
-    delivered = net.stats().get("noc.flits_delivered");
-  }
-  state.counters["inj_rate"] = rate;
-  state.counters["mean_latency_cyc"] = mean_latency;
-  state.counters["mean_hops"] = mean_hops;
-  state.counters["deflections"] = static_cast<double>(deflections);
-  state.counters["delivered"] = static_cast<double>(delivered);
+bench::Measurement uniform_random(const bench::RunOptions& opt, int rate_pct) {
+  const double rate = rate_pct / 100.0;
+  double mean_latency = 0.0;
+  double mean_hops = 0.0;
+  double deflections = 0.0;
+  double delivered = 0.0;
+  auto m = bench::run_case(
+      "uniform_random/" + std::to_string(rate_pct) + "pct",
+      "pattern=uniform_random inj_rate=" + std::to_string(rate) +
+          " torus=4x4 flits_per_node=500",
+      opt, [&] {
+        sim::Scheduler sched;
+        noc::Network net(sched, noc::TorusGeometry(4, 4));
+        std::vector<std::unique_ptr<TrafficNode>> nodes;
+        for (int i = 0; i < net.num_nodes(); ++i) {
+          nodes.push_back(std::make_unique<TrafficNode>(
+              sched, net, i, rate, 500, 42 + static_cast<std::uint64_t>(i)));
+        }
+        sched.run(10'000'000);
+        mean_latency = net.stats().acc("noc.latency").mean();
+        mean_hops = net.stats().acc("noc.hops").mean();
+        deflections =
+            static_cast<double>(net.stats().get("noc.deflections_total"));
+        delivered =
+            static_cast<double>(net.stats().get("noc.flits_delivered"));
+        return sched.now();
+      });
+  m.metric("mean_latency_cyc", mean_latency);
+  m.metric("mean_hops", mean_hops);
+  m.metric("deflections", deflections);
+  m.metric("delivered", delivered);
+  return m;
 }
-
-BENCHMARK(BM_UniformRandomTraffic)
-    ->Arg(5)
-    ->Arg(10)
-    ->Arg(20)
-    ->Arg(40)
-    ->Arg(80)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("noc_deflection", argc, argv);
+  for (int rate_pct : {5, 10, 20, 40, 80}) {
+    report.add(uniform_random(report.options(), rate_pct));
+  }
+  return report.finish();
+}

@@ -3,45 +3,67 @@
 /// message-passing combine versus the lock-protected shared-memory
 /// accumulator, across core counts and problem sizes.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "apps/reduction.h"
 #include "core/medea.h"
 #include "dse/sweep.h"
+#include "harness.h"
 
 using namespace medea;
 
 namespace {
 
-void BM_Reduction(benchmark::State& state) {
-  const auto variant = static_cast<apps::ReductionVariant>(state.range(0));
-  const int cores = static_cast<int>(state.range(1));
-  const int elements = static_cast<int>(state.range(2));
-  double cycles = 0.0;
-  for (auto _ : state) {
-    core::MedeaSystem sys(
-        dse::make_design_config(cores, 16, mem::WritePolicy::kWriteBack));
-    apps::ReductionParams p;
-    p.elements = elements;
-    p.repeats = 2;
-    p.variant = variant;
-    const auto res = apps::run_reduction(sys, p);
-    cycles = res.cycles_per_round;
-    if (res.abs_error > 1e-9) state.SkipWithError("numerical mismatch");
+bench::Measurement reduction_case(const bench::RunOptions& opt,
+                                  apps::ReductionVariant variant, int cores,
+                                  int elements, bool& numerics_ok) {
+  double cycles_per_round = 0.0;
+  numerics_ok = true;
+  auto m = bench::run_case(
+      std::string(apps::to_string(variant)) + "/" + std::to_string(cores) +
+          "c_" + std::to_string(elements) + "e",
+      std::string("variant=") + apps::to_string(variant) +
+          " cores=" + std::to_string(cores) +
+          " elements=" + std::to_string(elements) + " l1_kb=16 policy=WB",
+      opt, [&] {
+        core::MedeaSystem sys(
+            dse::make_design_config(cores, 16, mem::WritePolicy::kWriteBack));
+        apps::ReductionParams p;
+        p.elements = elements;
+        p.repeats = 2;
+        p.variant = variant;
+        const auto res = apps::run_reduction(sys, p);
+        cycles_per_round = res.cycles_per_round;
+        if (res.abs_error > 1e-9) numerics_ok = false;
+        return res.total_cycles;
+      });
+  if (!numerics_ok) {
+    std::fprintf(stderr, "bench_reduction: numerical mismatch in %s\n",
+                 m.name.c_str());
   }
-  state.SetLabel(apps::to_string(variant));
-  state.counters["cycles_per_round"] = cycles;
-  state.counters["cores"] = cores;
-  state.counters["elements"] = elements;
+  m.metric("cycles_per_round", cycles_per_round);
+  m.metric("numerics_ok", numerics_ok ? 1.0 : 0.0);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_Reduction)
-    ->ArgsProduct({{static_cast<int>(apps::ReductionVariant::kMessagePassing),
-                    static_cast<int>(apps::ReductionVariant::kSharedMemory)},
-                   {2, 4, 8, 15},
-                   {256, 4096}})
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("reduction", argc, argv);
+  bool all_ok = true;
+  for (auto variant : {apps::ReductionVariant::kMessagePassing,
+                       apps::ReductionVariant::kSharedMemory}) {
+    for (int cores : {2, 4, 8, 15}) {
+      for (int elements : {256, 4096}) {
+        bool numerics_ok = true;
+        report.add(reduction_case(report.options(), variant, cores, elements,
+                                  numerics_ok));
+        all_ok = all_ok && numerics_ok;
+      }
+    }
+  }
+  const int rc = report.finish();
+  return all_ok ? rc : 1;
+}

@@ -13,8 +13,10 @@
 /// of injection rates; both fabrics deliver everything, the comparison is
 /// latency and buffering.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
+#include "harness.h"
 #include "noc/network.h"
 #include "noc/traffic.h"
 #include "noc/xy_network.h"
@@ -23,9 +25,9 @@ using namespace medea;
 
 namespace {
 
-noc::TrafficConfig traffic_cfg(int pattern, int rate_pct) {
+noc::TrafficConfig traffic_cfg(noc::TrafficPattern pattern, int rate_pct) {
   noc::TrafficConfig cfg;
-  cfg.pattern = static_cast<noc::TrafficPattern>(pattern);
+  cfg.pattern = pattern;
   cfg.injection_rate = rate_pct / 100.0;
   cfg.flits_per_node = 400;
   cfg.hotspot_node = 5;
@@ -33,60 +35,75 @@ noc::TrafficConfig traffic_cfg(int pattern, int rate_pct) {
   return cfg;
 }
 
-void BM_Deflection(benchmark::State& state) {
-  const auto cfg = traffic_cfg(static_cast<int>(state.range(0)),
-                               static_cast<int>(state.range(1)));
-  double lat = 0, defl = 0;
-  int delivered = 0;
-  for (auto _ : state) {
-    sim::Scheduler sched;
-    noc::Network net(sched, noc::TorusGeometry(4, 4));
-    delivered = noc::run_traffic(sched, net, cfg);
-    lat = net.stats().acc("noc.latency").mean();
-    defl = static_cast<double>(net.stats().get("noc.deflections_total"));
-  }
-  state.SetLabel(std::string("deflection/") + noc::to_string(cfg.pattern));
-  state.counters["mean_latency"] = lat;
-  state.counters["deflections"] = defl;
-  state.counters["delivered"] = delivered;
-  state.counters["peak_buffered"] = 0;  // hot potato stores nothing
+std::string case_config(const noc::TrafficConfig& cfg, int rate_pct) {
+  return std::string("pattern=") + noc::to_string(cfg.pattern) +
+         " inj_rate_pct=" + std::to_string(rate_pct) +
+         " torus=4x4 flits_per_node=400";
 }
 
-void BM_BufferedXy(benchmark::State& state) {
-  const auto cfg = traffic_cfg(static_cast<int>(state.range(0)),
-                               static_cast<int>(state.range(1)));
-  double lat = 0, peak = 0;
+bench::Measurement deflection(const bench::RunOptions& opt,
+                              noc::TrafficPattern pattern, int rate_pct) {
+  const auto cfg = traffic_cfg(pattern, rate_pct);
+  double lat = 0.0, defl = 0.0;
   int delivered = 0;
-  for (auto _ : state) {
-    sim::Scheduler sched;
-    // Mesh geometry: dimension-ordered routing's deadlock-free home.
-    noc::XyNetwork net(sched, noc::TorusGeometry(4, 4));
-    delivered = noc::run_traffic(sched, net, cfg);
-    lat = net.stats().acc("xynoc.latency").mean();
-    peak = static_cast<double>(net.stats().get("xynoc.peak_buffered"));
-  }
-  state.SetLabel(std::string("buffered-xy/") + noc::to_string(cfg.pattern));
-  state.counters["mean_latency"] = lat;
-  state.counters["deflections"] = 0;
-  state.counters["delivered"] = delivered;
-  state.counters["peak_buffered"] = peak;
+  auto m = bench::run_case(
+      std::string("deflection/") + noc::to_string(pattern) + "/" +
+          std::to_string(rate_pct) + "pct",
+      case_config(cfg, rate_pct), opt, [&] {
+        sim::Scheduler sched;
+        noc::Network net(sched, noc::TorusGeometry(4, 4));
+        delivered = noc::run_traffic(sched, net, cfg);
+        lat = net.stats().acc("noc.latency").mean();
+        defl = static_cast<double>(net.stats().get("noc.deflections_total"));
+        return sched.now();
+      });
+  m.metric("mean_latency", lat);
+  m.metric("deflections", defl);
+  m.metric("delivered", delivered);
+  m.metric("peak_buffered", 0.0);  // hot potato stores nothing
+  return m;
+}
+
+bench::Measurement buffered_xy(const bench::RunOptions& opt,
+                               noc::TrafficPattern pattern, int rate_pct) {
+  const auto cfg = traffic_cfg(pattern, rate_pct);
+  double lat = 0.0, peak = 0.0;
+  int delivered = 0;
+  auto m = bench::run_case(
+      std::string("buffered-xy/") + noc::to_string(pattern) + "/" +
+          std::to_string(rate_pct) + "pct",
+      case_config(cfg, rate_pct), opt, [&] {
+        sim::Scheduler sched;
+        // Mesh geometry: dimension-ordered routing's deadlock-free home.
+        noc::XyNetwork net(sched, noc::TorusGeometry(4, 4));
+        delivered = noc::run_traffic(sched, net, cfg);
+        lat = net.stats().acc("xynoc.latency").mean();
+        peak = static_cast<double>(net.stats().get("xynoc.peak_buffered"));
+        return sched.now();
+      });
+  m.metric("mean_latency", lat);
+  m.metric("deflections", 0.0);
+  m.metric("delivered", delivered);
+  m.metric("peak_buffered", peak);
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_Deflection)
-    ->ArgsProduct({{static_cast<int>(noc::TrafficPattern::kUniformRandom),
-                    static_cast<int>(noc::TrafficPattern::kHotspot),
-                    static_cast<int>(noc::TrafficPattern::kTranspose),
-                    static_cast<int>(noc::TrafficPattern::kNeighbor)},
-                   {10, 40}})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_BufferedXy)
-    ->ArgsProduct({{static_cast<int>(noc::TrafficPattern::kUniformRandom),
-                    static_cast<int>(noc::TrafficPattern::kHotspot),
-                    static_cast<int>(noc::TrafficPattern::kTranspose),
-                    static_cast<int>(noc::TrafficPattern::kNeighbor)},
-                   {10, 40}})
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("router_comparison", argc, argv);
+  const noc::TrafficPattern patterns[] = {
+      noc::TrafficPattern::kUniformRandom, noc::TrafficPattern::kHotspot,
+      noc::TrafficPattern::kTranspose, noc::TrafficPattern::kNeighbor};
+  for (auto pattern : patterns) {
+    for (int rate_pct : {10, 40}) {
+      report.add(deflection(report.options(), pattern, rate_pct));
+    }
+  }
+  for (auto pattern : patterns) {
+    for (int rate_pct : {10, 40}) {
+      report.add(buffered_xy(report.options(), pattern, rate_pct));
+    }
+  }
+  return report.finish();
+}

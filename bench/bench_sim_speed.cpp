@@ -7,45 +7,50 @@
 /// cycles/second and design points/hour — which is the quantity that
 /// makes the DSE methodology practical.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "apps/jacobi.h"
 #include "core/medea.h"
 #include "dse/sweep.h"
+#include "harness.h"
 
 using namespace medea;
 
 namespace {
 
-void BM_JacobiDesignPoint(benchmark::State& state) {
-  const int cores = static_cast<int>(state.range(0));
-  const auto kb = static_cast<std::uint32_t>(state.range(1));
-  std::uint64_t sim_cycles = 0;
-  for (auto _ : state) {
-    core::MedeaSystem sys(
-        dse::make_design_config(cores, kb, mem::WritePolicy::kWriteBack));
-    apps::JacobiParams p;
-    p.n = 60;
-    p.variant = apps::JacobiVariant::kHybridMp;
-    const auto res = apps::run_jacobi(sys, p);
-    sim_cycles += res.total_cycles;
-    benchmark::DoNotOptimize(res.checksum);
-  }
-  state.counters["sim_cycles_per_s"] = benchmark::Counter(
-      static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+bench::Measurement design_point(const bench::RunOptions& opt, int cores,
+                                std::uint32_t kb) {
+  double wall_per_point_ns = 0.0;
+  auto m = bench::run_case(
+      "jacobi_60x60/" + std::to_string(cores) + "c_" + std::to_string(kb) +
+          "kB",
+      "cores=" + std::to_string(cores) + " l1_kb=" + std::to_string(kb) +
+          " policy=WB variant=hybrid_mp n=60",
+      opt, [&] {
+        core::MedeaSystem sys(
+            dse::make_design_config(cores, kb, mem::WritePolicy::kWriteBack));
+        apps::JacobiParams p;
+        p.n = 60;
+        p.variant = apps::JacobiVariant::kHybridMp;
+        const auto res = apps::run_jacobi(sys, p);
+        return res.total_cycles;
+      });
+  wall_per_point_ns = m.wall_ns;
   // Design points per hour at this configuration's cost (the paper needed
   // 5 servers and a day for 168 points).
-  state.counters["points_per_hour"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 3600.0,
-      benchmark::Counter::kIsRate);
+  if (wall_per_point_ns > 0.0) {
+    m.metric("points_per_hour", 3600.0 / (wall_per_point_ns * 1e-9));
+  }
+  return m;
 }
 
 }  // namespace
 
-BENCHMARK(BM_JacobiDesignPoint)
-    ->Args({2, 2})    // worst case: miss-dominated, long run
-    ->Args({8, 16})   // mid
-    ->Args({15, 64})  // best case: compute-bound, short run
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Report report("sim_speed", argc, argv);
+  report.add(design_point(report.options(), 2, 2));    // worst: miss-dominated
+  report.add(design_point(report.options(), 8, 16));   // mid
+  report.add(design_point(report.options(), 15, 64));  // best: compute-bound
+  return report.finish();
+}

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dse/sweep.h"
+#include "harness.h"
+
+/// \file sweep_case.h
+/// Shared glue for the figure harnesses (fig6-fig9): run a DSE sweep as
+/// one bench case.  The returned cycle count is the sum of per-iteration
+/// cycles over all design points — a deterministic simulated-work proxy
+/// that makes sim_speed comparable across sweeps.
+
+namespace medea::bench {
+
+inline Measurement sweep_case(std::string name, std::string config,
+                              const RunOptions& opt,
+                              const dse::SweepSpec& spec,
+                              std::vector<dse::SweepPoint>& points) {
+  auto m = run_case(std::move(name), std::move(config), opt, [&] {
+    points = dse::run_sweep(spec);
+    double total = 0.0;
+    for (const auto& p : points) total += p.cycles_per_iteration;
+    return static_cast<std::uint64_t>(total);
+  });
+  m.metric("design_points", static_cast<double>(points.size()));
+  return m;
+}
+
+}  // namespace medea::bench

@@ -44,11 +44,18 @@ mem::MemoryMapConfig make_map_config(const MedeaConfig& cfg) {
   return m;
 }
 
+// map_ is constructed in the member-init list, so the config must be
+// validated before it reaches MemoryMap (whose invariants assume a
+// validated core count).
+const MedeaConfig& validated(const MedeaConfig& cfg) {
+  cfg.validate();
+  return cfg;
+}
+
 }  // namespace
 
 MedeaSystem::MedeaSystem(const MedeaConfig& cfg)
-    : cfg_(cfg), map_(make_map_config(cfg)) {
-  cfg_.validate();
+    : cfg_(validated(cfg)), map_(make_map_config(cfg)) {
   net_ = std::make_unique<noc::Network>(
       sched_, noc::TorusGeometry(cfg_.noc_width, cfg_.noc_height),
       cfg_.router, cfg_.seed);

@@ -40,7 +40,14 @@ struct Coord {
   auto operator<=>(const Coord&) const = default;
 
   std::string to_string() const {
-    return "(" + std::to_string(x) + "," + std::to_string(y) + ")";
+    // Built with append rather than operator+ chains: GCC 12's -O3
+    // -Wrestrict fires a false positive on `const char* + string&&`.
+    std::string s(1, '(');
+    s += std::to_string(x);
+    s += ',';
+    s += std::to_string(y);
+    s += ')';
+    return s;
   }
 };
 

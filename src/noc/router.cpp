@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace medea::noc {
 
@@ -118,7 +119,10 @@ void DeflectionRouter::tick(sim::Cycle now) {
   for (const Flit& f : route_set_) {
     bool productive = false;
     const int port = pick_port(f, productive);
-    assert(port >= 0 && "deflection router must always find a free port");
+    // With |route_set_| <= kNumDirs a free port always exists; if the
+    // invariant is ever broken, fail hard instead of indexing with -1
+    // (asserts vanish under NDEBUG and would leave this as silent UB).
+    if (port < 0) std::abort();
     port_free[port] = false;
     assigned[n_assigned++] = static_cast<Dir>(port);
     if (!productive) stats_.inc("noc.deflections_total");
@@ -134,7 +138,7 @@ void DeflectionRouter::tick(sim::Cycle now) {
       f.inject_cycle = now;
       bool productive = false;
       const int port = pick_port(f, productive);
-      assert(port >= 0);
+      if (port < 0) std::abort();  // a free port was just verified above
       port_free[port] = false;
       route_set_.push_back(f);
       assigned[n_assigned++] = static_cast<Dir>(port);

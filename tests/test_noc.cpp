@@ -325,6 +325,45 @@ TEST(Network, WorksOnNonSquareTorus) {
   EXPECT_EQ(fx.nodes[fx.net.geometry().node_id({1, 2})]->received.size(), 1u);
 }
 
+// Regression test for the deflection port-assignment hardening: under
+// saturation every router sees a full route set (4 in-flight flits) and
+// must take the deflect-to-any-free-port path.  With random_tie_break
+// the free-port scan previously relied on an assert()-only guard around
+// a -1 "no port" return — compiled out under NDEBUG, leaving a negative
+// array index.  This drives both tie-break modes to full load and checks
+// total delivery.
+TEST(Network, SaturationExercisesDeflectionPortScan) {
+  for (bool random_tie : {false, true}) {
+    RouterConfig cfg;
+    cfg.random_tie_break = random_tie;
+    sim::Scheduler sched;
+    Network net(sched, TorusGeometry(4, 4), cfg, 7);
+    std::vector<std::unique_ptr<NodeHarness>> nodes;
+    for (int i = 0; i < net.num_nodes(); ++i) {
+      nodes.push_back(std::make_unique<NodeHarness>(sched, net, i));
+    }
+    // Every node floods one hotspot: converging traffic exhausts the few
+    // productive ports near the destination, guaranteed deflections.
+    // (Opposite-corner traffic would not work here: at exactly half the
+    // ring circumference every direction is productive.)
+    const Coord hotspot{1, 1};
+    const int kPerNode = 30;
+    int senders = 0;
+    for (int i = 0; i < net.num_nodes(); ++i) {
+      if (net.geometry().coord_of(i) == hotspot) continue;
+      ++senders;
+      for (int k = 0; k < kPerNode; ++k) {
+        nodes[static_cast<std::size_t>(i)]->send(
+            make_test_flit(net, hotspot, static_cast<std::uint32_t>(k)));
+      }
+    }
+    ASSERT_TRUE(sched.run(1'000'000));
+    EXPECT_EQ(net.stats().get("noc.flits_delivered"),
+              static_cast<std::uint64_t>(senders * kPerNode));
+    EXPECT_GT(net.stats().get("noc.deflections_total"), 0u);
+  }
+}
+
 TEST(Network, LatencyStatisticsPopulated) {
   NetFixture fx;
   for (int k = 0; k < 10; ++k) {
