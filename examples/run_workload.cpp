@@ -1,0 +1,154 @@
+/// run_workload — the workload-engine front-end: list, run, record and
+/// replay any registered workload from the command line.
+///
+///   run_workload --list
+///       List every registered workload with its description.
+///
+///   run_workload <name> [options]
+///       Run workload <name> (any registry name: jacobi, jacobi-sync,
+///       jacobi-sm, reduction, reduction-sm, uniform, hotspot,
+///       transpose, neighbor, replay).
+///
+///     --width=W --height=H   NoC torus dimensions      (default 4x4)
+///     --cores=P              compute cores             (default 4)
+///     --cache-kb=K           L1 size, power of two     (default 16)
+///     --policy=wb|wt         L1 write policy           (default wb)
+///     --size=N               problem size (grid n / elements)
+///     --iters=I              timed iterations/rounds   (default 1)
+///     --rate=R               injection rate, synthetic (default 0.1)
+///     --flits=F              flits per node, synthetic (default 1000)
+///     --hotspot=NODE         hotspot target node       (default 0)
+///     --seed=S               RNG seed                  (default 1)
+///     --verify               check against the host reference
+///     --stats                dump aggregate statistics
+///     --record=FILE          record the run's flit trace to FILE
+///     --trace=FILE           input trace (replay workload)
+///
+/// Examples:
+///   run_workload uniform --width=8 --height=8 --rate=0.2
+///   run_workload jacobi --size=30 --record=jacobi.mdtr
+///   run_workload replay --trace=jacobi.mdtr
+///
+/// Exit code 0 on success (and verification pass), 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/workload.h"
+
+using namespace medea;
+
+namespace {
+
+void list_workloads() {
+  std::printf("registered workloads:\n");
+  for (const workload::Workload* w :
+       workload::WorkloadRegistry::instance().list()) {
+    std::printf("  %-14s %s%s\n", w->name().c_str(),
+                w->noc_only() ? "[NoC-only] " : "", w->description().c_str());
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: run_workload --list\n"
+      "       run_workload <name> [--width=W] [--height=H] [--cores=P]\n"
+      "         [--cache-kb=K] [--policy=wb|wt] [--size=N] [--iters=I]\n"
+      "         [--rate=R] [--flits=F] [--hotspot=NODE] [--seed=S]\n"
+      "         [--verify] [--stats] [--record=FILE] [--trace=FILE]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string name = argv[1];
+  if (name == "--list" || name == "-l") {
+    list_workloads();
+    return 0;
+  }
+  if (name == "--help" || name == "-h" || name[0] == '-') return usage();
+
+  workload::WorkloadParams p;
+  p.config.num_compute_cores = 4;
+  bool stats = false;
+  std::string record_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* key) -> const char* {
+      const std::size_t klen = std::strlen(key);
+      if (a.compare(0, klen, key) == 0 && a.size() > klen && a[klen] == '=') {
+        return a.c_str() + klen + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = val("--width")) {
+      p.config.noc_width = std::atoi(v);
+    } else if (const char* v2 = val("--height")) {
+      p.config.noc_height = std::atoi(v2);
+    } else if (const char* v3 = val("--cores")) {
+      p.config.num_compute_cores = std::atoi(v3);
+    } else if (const char* v4 = val("--cache-kb")) {
+      p.config.l1.size_bytes =
+          static_cast<std::uint32_t>(std::atoi(v4)) * 1024;
+    } else if (const char* v5 = val("--policy")) {
+      p.config.l1.policy = std::string(v5) == "wt"
+                               ? mem::WritePolicy::kWriteThrough
+                               : mem::WritePolicy::kWriteBack;
+    } else if (const char* v6 = val("--size")) {
+      p.size = std::atoi(v6);
+    } else if (const char* v7 = val("--iters")) {
+      p.iterations = std::atoi(v7);
+    } else if (const char* v8 = val("--rate")) {
+      p.injection_rate = std::atof(v8);
+    } else if (const char* v9 = val("--flits")) {
+      p.flits_per_node = std::atoi(v9);
+    } else if (const char* v10 = val("--hotspot")) {
+      p.hotspot_node = std::atoi(v10);
+    } else if (const char* v11 = val("--seed")) {
+      p.seed = static_cast<std::uint64_t>(std::atoll(v11));
+    } else if (const char* v12 = val("--record")) {
+      record_path = v12;
+    } else if (const char* v13 = val("--trace")) {
+      p.trace_path = v13;
+    } else if (a == "--verify") {
+      p.verify = true;
+    } else if (a == "--stats") {
+      stats = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return usage();
+    }
+  }
+  p.config.workload = name;
+
+  try {
+    workload::WorkloadResult res;
+    if (!record_path.empty()) {
+      workload::TraceRecorder rec(p.config.noc_width, p.config.noc_height);
+      res = workload::run_by_name(name, p, &rec);
+      const workload::Trace t = rec.take(res.cycles, name, p.seed);
+      workload::save_trace(t, record_path);
+      std::printf("recorded %zu injection events to %s\n", t.events.size(),
+                  record_path.c_str());
+    } else {
+      res = workload::run_by_name(name, p);
+    }
+    std::printf(
+        "%s: %llu cycles, %llu flits delivered, %s = %.2f%s\n", name.c_str(),
+        static_cast<unsigned long long>(res.cycles),
+        static_cast<unsigned long long>(res.flits_delivered),
+        res.metric_name.c_str(), res.metric,
+        p.verify ? (res.verified_ok ? ", verified" : ", VERIFY FAILED") : "");
+    if (stats) std::fputs(res.stats.to_string().c_str(), stdout);
+    return res.verified_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

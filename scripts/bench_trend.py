@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Diff sim_speed across BENCH_*.json files from successive runs.
+
+Every bench binary writes a BENCH_<name>.json (bench/harness.h schema:
+name/config/cycles/wall_ns/sim_speed/metrics per case).  CI archives one
+per commit; this script turns two or more of them into a trendline so a
+sim_speed regression is visible in review instead of three PRs later.
+
+Usage:
+  bench_trend.py FILE_OR_DIR [FILE_OR_DIR ...] [--max-regress=PCT]
+
+With one input it prints the run's cases.  With several, inputs are
+treated as successive runs (oldest first): cases are matched by
+(bench, case-name) and the relative sim_speed change from the first to
+the last run is reported.  Directories are scanned for BENCH_*.json.
+
+--max-regress=PCT exits non-zero when any matched case's sim_speed
+dropped by more than PCT percent (for CI gating; default: report only).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_runs(inputs):
+    """Each input (file or directory) becomes one run: {(bench, case): dict}."""
+    runs = []
+    for raw in inputs:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.glob("BENCH_*.json"))
+            if not files:
+                sys.exit(f"bench_trend: no BENCH_*.json in {path}")
+        elif path.is_file():
+            files = [path]
+        else:
+            sys.exit(f"bench_trend: no such file or directory: {path}")
+        cases = {}
+        for f in files:
+            try:
+                doc = json.loads(f.read_text())
+            except json.JSONDecodeError as e:
+                sys.exit(f"bench_trend: {f}: invalid JSON: {e}")
+            for case in doc.get("cases", []):
+                cases[(doc.get("bench", f.stem), case["name"])] = case
+        runs.append((str(path), cases))
+    return runs
+
+
+def fmt_speed(speed):
+    return f"{speed / 1e6:10.2f}"
+
+
+def print_single(label, cases):
+    print(f"# {label}")
+    print(f"{'case':<44} {'Mcyc/s':>10} {'cycles':>14}")
+    for (bench, name), c in sorted(cases.items()):
+        print(f"{bench + '/' + name:<44} {fmt_speed(c['sim_speed'])} "
+              f"{c['cycles']:>14.0f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("inputs", nargs="+",
+                        help="BENCH_*.json files or directories, oldest first")
+    parser.add_argument("--max-regress", type=float, default=None, metavar="PCT",
+                        help="fail if any case's sim_speed drops more than PCT%%")
+    args = parser.parse_args()
+
+    runs = load_runs(args.inputs)
+    if len(runs) == 1:
+        print_single(*runs[0])
+        return
+
+    first_label, first = runs[0]
+    last_label, last = runs[-1]
+    keys = sorted(set(first) & set(last))
+    if not keys:
+        sys.exit("bench_trend: no common cases between "
+                 f"{first_label} and {last_label}")
+
+    header = f"{'case':<44} " + " ".join(
+        f"{Path(label).name[:14]:>14}" for label, _ in runs) + f" {'delta':>8}"
+    print(header)
+    worst = 0.0
+    for key in keys:
+        cells = []
+        for _, cases in runs:
+            c = cases.get(key)
+            cells.append(f"{fmt_speed(c['sim_speed']):>14}" if c else f"{'-':>14}")
+        base, cur = first[key]["sim_speed"], last[key]["sim_speed"]
+        delta = (cur - base) / base * 100.0 if base > 0 else 0.0
+        worst = min(worst, delta)
+        bench, name = key
+        print(f"{bench + '/' + name:<44} " + " ".join(cells) +
+              f" {delta:+7.1f}%")
+
+    only_first = sorted(set(first) - set(last))
+    only_last = sorted(set(last) - set(first))
+    for key in only_first:
+        print(f"{key[0] + '/' + key[1]:<44} (dropped after {first_label})")
+    for key in only_last:
+        print(f"{key[0] + '/' + key[1]:<44} (new in {last_label})")
+
+    if args.max_regress is not None and worst < -args.max_regress:
+        print(f"\nbench_trend: FAIL: worst sim_speed regression {worst:.1f}% "
+              f"exceeds --max-regress={args.max_regress}%", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nworst sim_speed change vs {first_label}: {worst:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,11 @@ struct MedeaConfig {
   mpmmu::MpmmuConfig mpmmu{};
   mem::MemoryMapConfig memmap{};
 
+  // --- workload selection ---
+  /// Registry name of the scenario to run on this machine (consumed by
+  /// workload::run_configured and dse::run_sweep; see src/workload/).
+  std::string workload = "jacobi";
+
   std::uint64_t seed = 1;
 
   int num_nodes() const { return noc_width * noc_height; }

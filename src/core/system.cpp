@@ -29,7 +29,8 @@ void MedeaConfig::validate() const {
     throw std::invalid_argument(
         "MedeaConfig: L1 size must be a power of two >= 1kB");
   }
-  // 4-bit SRCID limits the addressable node count (Fig. 5).
+  // The SRCID field width limits the addressable node count (Fig. 5;
+  // widened to 8 bits here so 8x8+ tori are representable).
   if (num_nodes() > (1 << noc::FlitFormat::kSrcIdBits)) {
     throw std::invalid_argument(
         "MedeaConfig: NoC larger than the SRCID field allows");

@@ -5,8 +5,26 @@
 #include <thread>
 
 #include "core/system.h"
+#include "workload/workload.h"
 
 namespace medea::dse {
+
+namespace {
+
+/// Registry name for a spec: the paper's Jacobi programming-model
+/// ablation is expressed through `variant`, which maps onto the three
+/// registered Jacobi workloads.
+std::string workload_name(const SweepSpec& spec) {
+  if (spec.workload != "jacobi") return spec.workload;
+  switch (spec.variant) {
+    case apps::JacobiVariant::kHybridMp: return "jacobi";
+    case apps::JacobiVariant::kHybridSyncOnly: return "jacobi-sync";
+    case apps::JacobiVariant::kPureSharedMemory: return "jacobi-sm";
+  }
+  return "jacobi";
+}
+
+}  // namespace
 
 core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
                                      mem::WritePolicy policy) {
@@ -22,23 +40,26 @@ core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
 
 SweepPoint run_design_point(const SweepSpec& spec, int cores,
                             std::uint32_t cache_kb, mem::WritePolicy policy) {
-  core::MedeaConfig cfg = make_design_config(cores, cache_kb, policy);
-  core::MedeaSystem sys(cfg);
+  const std::string name = workload_name(spec);
 
-  apps::JacobiParams jp;
-  jp.n = spec.n;
-  jp.warmup_iterations = spec.warmup_iterations;
-  jp.timed_iterations = spec.timed_iterations;
-  jp.variant = spec.variant;
-  const auto res = apps::run_jacobi(sys, jp);
+  workload::WorkloadParams wp;
+  wp.config = make_design_config(cores, cache_kb, policy);
+  wp.config.workload = name;
+  wp.size = spec.n;
+  wp.iterations = spec.timed_iterations;
+  wp.warmup_iterations = spec.warmup_iterations;
+  wp.trace_path = spec.trace_path;
+  const workload::WorkloadResult res = workload::run_by_name(name, wp);
 
   SweepPoint pt;
+  pt.workload = name;
   pt.cores = cores;
   pt.cache_kb = cache_kb;
   pt.policy = policy;
   pt.variant = spec.variant;
-  pt.cycles_per_iteration = res.cycles_per_iteration;
-  pt.area_mm2 = spec.area.chip_area_mm2(cfg);
+  pt.cycles_per_iteration = res.metric;
+  pt.metric_name = res.metric_name;
+  pt.area_mm2 = spec.area.chip_area_mm2(wp.config);
   std::ostringstream label;
   label << cores << "P_" << cache_kb << "k$_" << mem::to_string(policy);
   pt.label = label.str();

@@ -15,9 +15,14 @@
 /// The paper evaluates 168 design points per data size: compute cores 2
 /// to 15 (plus the MPMMU, 16 nodes on the 4x4 folded torus), L1 cache
 /// 2..64 kB in powers of two, Write-Back and Write-Through.  This driver
-/// enumerates that space (or any sub-space), runs the Jacobi workload on
-/// each point, attaches chip area from the AreaModel, and feeds the
+/// enumerates that space (or any sub-space), runs the selected workload
+/// on each point, attaches chip area from the AreaModel, and feeds the
 /// Pareto/Kill-rule analysis that produces Figs. 7 and 9.
+///
+/// Any workload-registry scenario can drive the sweep: the paper's
+/// Jacobi (the default), the reduction app, the synthetic NoC patterns
+/// or a recorded trace replay (`workload = "replay"` + trace_path) —
+/// the fast-forward mode for NoC-centric exploration.
 ///
 /// Points are independent simulations and can run on multiple host
 /// threads (the paper used 5 dual-Xeon servers for a day; we aim for
@@ -26,7 +31,13 @@
 namespace medea::dse {
 
 struct SweepSpec {
-  int n = 60;  ///< Jacobi grid size
+  /// Workload-registry name run at every design point.  "jacobi" is
+  /// further refined by `variant` below (kept for the paper's
+  /// programming-model ablations).
+  std::string workload = "jacobi";
+  std::string trace_path;  ///< input trace when workload == "replay"
+
+  int n = 60;  ///< problem size (Jacobi grid / reduction elements)
   std::vector<int> cores = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
   std::vector<std::uint32_t> cache_kb = {2, 4, 8, 16, 32, 64};
   std::vector<mem::WritePolicy> policies = {mem::WritePolicy::kWriteBack,
@@ -39,11 +50,16 @@ struct SweepSpec {
 };
 
 struct SweepPoint {
+  std::string workload;  ///< registry name that produced this point
   int cores = 0;
   std::uint32_t cache_kb = 0;
   mem::WritePolicy policy = mem::WritePolicy::kWriteBack;
   apps::JacobiVariant variant = apps::JacobiVariant::kHybridMp;
+  /// Headline workload metric (`metric_name` says which; Jacobi:
+  /// "cycles_per_iteration").  Kept under the historical field name
+  /// because the Pareto/figure layers treat it as "cycles of work".
   double cycles_per_iteration = 0.0;
+  std::string metric_name;
   double area_mm2 = 0.0;
   std::string label;  ///< e.g. "11P_16k$_WB"
 };

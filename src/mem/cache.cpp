@@ -42,10 +42,10 @@ std::optional<std::uint32_t> Cache::read_word(Addr addr) {
   ++access_clock_;
   if (Line* l = find(addr)) {
     l->lru = access_clock_;
-    stats_.inc("cache.read_hits");
+    ++st_read_hits_;
     return l->data[static_cast<std::size_t>(word_in_line(addr))];
   }
-  stats_.inc("cache.read_misses");
+  ++st_read_misses_;
   return std::nullopt;
 }
 
@@ -54,22 +54,22 @@ bool Cache::write_word(Addr addr, std::uint32_t value) {
   Line* l = find(addr);
   if (cfg_.policy == WritePolicy::kWriteBack) {
     if (l == nullptr) {
-      stats_.inc("cache.write_misses");
+      ++st_write_misses_;
       return false;  // write-allocate: owner fills then retries
     }
     l->lru = access_clock_;
     l->data[static_cast<std::size_t>(word_in_line(addr))] = value;
     l->dirty = true;
-    stats_.inc("cache.write_hits");
+    ++st_write_hits_;
     return true;
   }
   // Write-through, no-allocate: update on hit, never dirty.
   if (l != nullptr) {
     l->lru = access_clock_;
     l->data[static_cast<std::size_t>(word_in_line(addr))] = value;
-    stats_.inc("cache.write_hits");
+    ++st_write_hits_;
   } else {
-    stats_.inc("cache.write_misses");
+    ++st_write_misses_;
   }
   return true;
 }
@@ -83,15 +83,15 @@ std::optional<Writeback> Cache::fill_line(Addr line_addr,
   std::optional<Writeback> wb;
   if (v.valid && v.dirty) {
     wb = Writeback{v.tag, v.data};
-    stats_.inc("cache.writebacks");
+    ++st_writebacks_;
   }
-  if (v.valid) stats_.inc("cache.evictions");
+  if (v.valid) ++st_evictions_;
   v.valid = true;
   v.dirty = false;
   v.tag = line_addr;
   v.lru = access_clock_;
   v.data = data;
-  stats_.inc("cache.fills");
+  ++st_fills_;
   return wb;
 }
 

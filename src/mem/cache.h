@@ -144,6 +144,16 @@ class Cache {
   std::vector<Line> lines_;  // sets * ways, row-major by set
   std::uint64_t access_clock_ = 0;
   sim::StatSet stats_;
+  // Handles into stats_ resolved once; every access bumps one of these,
+  // so the per-access string-keyed lookup matters (it showed up in
+  // bench_sim_speed profiles).
+  sim::Stat& st_read_hits_ = stats_.counter("cache.read_hits");
+  sim::Stat& st_read_misses_ = stats_.counter("cache.read_misses");
+  sim::Stat& st_write_hits_ = stats_.counter("cache.write_hits");
+  sim::Stat& st_write_misses_ = stats_.counter("cache.write_misses");
+  sim::Stat& st_writebacks_ = stats_.counter("cache.writebacks");
+  sim::Stat& st_evictions_ = stats_.counter("cache.evictions");
+  sim::Stat& st_fills_ = stats_.counter("cache.fills");
 };
 
 }  // namespace medea::mem

@@ -13,11 +13,13 @@
 ///
 ///   level 1 (network):     V(1) X(2) Y(2)            — used by switches
 ///   level 2 (bridge):      TYPE(3) SUBTYPE(2) SEQNUM(4)
-///   level 3 (application): BURST(2) SRCID(4) DATA(32)
+///   level 3 (application): BURST(2) SRCID(8) DATA(32)
 ///
-/// Total 50 bits of payload+header packed into a 64-bit flit (the RTL
-/// leaves the remaining bits unused; widths for X/Y grow with network
-/// size — 2 bits per coordinate suffice for the paper's 4x4 folded torus).
+/// The paper's RTL uses a 4-bit SRCID (16 nodes, enough for the 4x4
+/// evaluation fabric); this model widens SRCID to 8 bits so 8x8+ tori are
+/// representable (§IV discusses scaling), which still leaves the 64-bit
+/// flit with headroom.  Widths for X/Y grow with network size — 2 bits
+/// per coordinate suffice for the paper's 4x4 folded torus.
 ///
 /// The simulator carries a decoded struct for speed but provides
 /// encode()/decode() so tests can guarantee the struct stays faithful to
@@ -64,7 +66,7 @@ struct FlitFormat {
   static constexpr int kSubTypeBits = 2;
   static constexpr int kSeqNumBits = 4;
   static constexpr int kBurstBits = 2;
-  static constexpr int kSrcIdBits = 4;
+  static constexpr int kSrcIdBits = 8;
   static constexpr int kDataBits = 32;
 };
 
@@ -80,7 +82,7 @@ struct Flit {
   FlitSubType subtype = FlitSubType::kData;
   std::uint8_t seq_num = 0;          // 4 bits: offset within logic packet
   std::uint8_t burst_size = 0;       // 2 bits: flits in this logic packet - 1
-  std::uint8_t src_id = 0;           // 4 bits: source node id
+  std::uint8_t src_id = 0;           // 8 bits: source node id
   std::uint32_t data = 0;            // 32-bit payload (address or data word)
 
   // --- simulation-only metadata (not on the wire) ---

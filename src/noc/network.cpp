@@ -20,11 +20,15 @@ Dir opposite(Dir d) {
 
 Network::Network(sim::Scheduler& sched, const TorusGeometry& geom,
                  const RouterConfig& cfg, std::uint64_t seed)
-    : geom_(geom), rng_(seed) {
+    : geom_(geom) {
+  // Expand the network seed into one private stream per router (see the
+  // DeflectionRouter constructor comment: per-router generators keep
+  // stochastic tie-breaks independent of within-cycle tick order).
+  sim::SplitMix64 streams(seed);
   routers_.reserve(static_cast<std::size_t>(geom_.num_nodes()));
   for (int id = 0; id < geom_.num_nodes(); ++id) {
     routers_.push_back(std::make_unique<DeflectionRouter>(
-        sched, geom_, geom_.coord_of(id), cfg, stats_, rng_));
+        sched, geom_, geom_.coord_of(id), cfg, stats_, streams.next()));
   }
   // One unidirectional link per (router, direction).  The link leaving
   // router R through direction d enters neighbour(R, d) through the
@@ -44,6 +48,10 @@ Network::Network(sim::Scheduler& sched, const TorusGeometry& geom,
       links_.push_back(std::move(link));
     }
   }
+}
+
+void Network::set_observer(FlitObserver* obs) {
+  for (auto& r : routers_) r->set_observer(obs);
 }
 
 }  // namespace medea::noc

@@ -47,13 +47,23 @@ class Network {
   sim::StatSet& stats() { return stats_; }
   const sim::StatSet& stats() const { return stats_; }
 
+  /// Attach a flit-event observer to every router (nullptr detaches).
+  /// The workload trace recorder and determinism tests hang off this.
+  void set_observer(FlitObserver* obs);
+
   /// Fresh unique flit id (for tracing and deterministic tie-breaks).
   std::uint32_t next_flit_uid() { return next_uid_++; }
+
+  /// Reserve uid space: make the next next_flit_uid() return at least
+  /// `floor`.  Trace replay uses this so re-injected flits keep their
+  /// recorded uids without colliding with freshly allocated ones.
+  void reserve_flit_uids(std::uint32_t floor) {
+    if (floor > next_uid_) next_uid_ = floor;
+  }
 
  private:
   TorusGeometry geom_;
   sim::StatSet stats_;
-  sim::Xoshiro256 rng_;
   std::vector<std::unique_ptr<DeflectionRouter>> routers_;
   std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;
   std::uint32_t next_uid_ = 1;

@@ -19,13 +19,21 @@ DeflectionRouter::DeflectionRouter(sim::Scheduler& sched,
                                    const TorusGeometry& geom, Coord pos,
                                    const RouterConfig& cfg,
                                    sim::StatSet& net_stats,
-                                   sim::Xoshiro256& rng)
+                                   std::uint64_t rng_seed)
     : sim::Component(sched, "router" + pos.to_string()),
       geom_(geom),
       pos_(pos),
+      node_id_(geom.node_id(pos)),
       cfg_(cfg),
       stats_(net_stats),
-      rng_(rng),
+      rng_(rng_seed),
+      st_delivered_(net_stats.counter("noc.flits_delivered")),
+      st_livelock_(net_stats.counter("noc.livelock_suspects")),
+      st_deflections_(net_stats.counter("noc.deflections_total")),
+      st_injected_(net_stats.counter("noc.flits_injected")),
+      acc_latency_(net_stats.accumulator("noc.latency")),
+      acc_hops_(net_stats.accumulator("noc.hops")),
+      acc_defl_(net_stats.accumulator("noc.deflections")),
       inject_q_(sched, name() + ".inject",
                 static_cast<std::size_t>(cfg.inject_queue_depth)),
       eject_q_(sched, name() + ".eject",
@@ -64,11 +72,12 @@ void DeflectionRouter::tick(sim::Cycle now) {
     for (auto it = route_set_.begin();
          it != route_set_.end() && ejected < cfg_.eject_per_cycle;) {
       if (it->dst == pos_ && eject_q_.can_push()) {
-        stats_.inc("noc.flits_delivered");
-        stats_.sample("noc.latency", static_cast<double>(now - it->inject_cycle));
-        stats_.sample("noc.hops", it->hops);
-        stats_.sample("noc.deflections", it->deflections);
-        if (it->hops >= kLivelockHops) stats_.inc("noc.livelock_suspects");
+        ++st_delivered_;
+        acc_latency_.add(static_cast<double>(now - it->inject_cycle));
+        acc_hops_.add(it->hops);
+        acc_defl_.add(it->deflections);
+        if (it->hops >= kLivelockHops) ++st_livelock_;
+        if (observer_ != nullptr) observer_->on_deliver(now, node_id_, *it);
         eject_q_.push(*it);
         it = route_set_.erase(it);
         ++ejected;
@@ -125,7 +134,7 @@ void DeflectionRouter::tick(sim::Cycle now) {
     if (port < 0) std::abort();
     port_free[port] = false;
     assigned[n_assigned++] = static_cast<Dir>(port);
-    if (!productive) stats_.inc("noc.deflections_total");
+    if (!productive) ++st_deflections_;
   }
 
   // 4. Injection: one local flit if a port is still free.
@@ -140,10 +149,11 @@ void DeflectionRouter::tick(sim::Cycle now) {
       const int port = pick_port(f, productive);
       if (port < 0) std::abort();  // a free port was just verified above
       port_free[port] = false;
+      if (observer_ != nullptr) observer_->on_inject(now, node_id_, f);
       route_set_.push_back(f);
       assigned[n_assigned++] = static_cast<Dir>(port);
-      if (!productive) stats_.inc("noc.deflections_total");
-      stats_.inc("noc.flits_injected");
+      if (!productive) ++st_deflections_;
+      ++st_injected_;
       injected_this_cycle = true;
     }
   }

@@ -31,6 +31,21 @@
 
 namespace medea::noc {
 
+/// Observer of flit-level network events, called synchronously from the
+/// router's tick.  Used by the workload trace recorder and by determinism
+/// tests; null (the default) costs one pointer test per event.
+///
+/// on_inject fires when a flit leaves the local inject queue and enters
+/// the switched fabric (its inject_cycle has just been stamped);
+/// on_deliver fires when a flit is placed into the destination's eject
+/// queue.  `node` is the linear node id of the router involved.
+class FlitObserver {
+ public:
+  virtual ~FlitObserver() = default;
+  virtual void on_inject(sim::Cycle now, int node, const Flit& f) = 0;
+  virtual void on_deliver(sim::Cycle now, int node, const Flit& f) = 0;
+};
+
 struct RouterConfig {
   int eject_per_cycle = 1;      ///< local delivery bandwidth (flits/cycle)
   int inject_queue_depth = 2;   ///< NI-side injection staging
@@ -40,9 +55,14 @@ struct RouterConfig {
 
 class DeflectionRouter : public sim::Component {
  public:
+  /// `rng_seed` seeds this router's private tie-break stream.  Each
+  /// router owns its generator so stochastic choices depend only on the
+  /// router's own event history — never on the order in which routers
+  /// tick within a cycle (the kernel's determinism contract) — which is
+  /// also what makes trace replay bit-identical under random_tie_break.
   DeflectionRouter(sim::Scheduler& sched, const TorusGeometry& geom, Coord pos,
                    const RouterConfig& cfg, sim::StatSet& net_stats,
-                   sim::Xoshiro256& rng);
+                   std::uint64_t rng_seed);
 
   Coord pos() const { return pos_; }
 
@@ -55,14 +75,29 @@ class DeflectionRouter : public sim::Component {
   sim::Fifo<Flit>& inject() { return inject_q_; }
   sim::Fifo<Flit>& eject() { return eject_q_; }
 
+  /// Attach (or detach with nullptr) a flit-event observer.
+  void set_observer(FlitObserver* obs) { observer_ = obs; }
+
   void tick(sim::Cycle now) override;
 
  private:
   const TorusGeometry& geom_;
   Coord pos_;
+  int node_id_;
   RouterConfig cfg_;
   sim::StatSet& stats_;
-  sim::Xoshiro256& rng_;
+  sim::Xoshiro256 rng_;
+  FlitObserver* observer_ = nullptr;
+
+  // Stat handles resolved once at construction; bumping these on the
+  // tick path avoids the per-event string-keyed map lookup.
+  sim::Stat& st_delivered_;
+  sim::Stat& st_livelock_;
+  sim::Stat& st_deflections_;
+  sim::Stat& st_injected_;
+  sim::Accumulator& acc_latency_;
+  sim::Accumulator& acc_hops_;
+  sim::Accumulator& acc_defl_;
 
   std::array<sim::Fifo<Flit>*, kNumDirs> in_{};
   std::array<sim::Fifo<Flit>*, kNumDirs> out_{};

@@ -13,7 +13,9 @@
 
 /// \file traffic.h
 /// Synthetic traffic generation for NoC characterization (used by the
-/// deflection-vs-buffered ablation benches and by stress tests).
+/// deflection-vs-buffered ablation benches, by stress tests, and exposed
+/// by name — uniform/hotspot/transpose/neighbor — through the workload
+/// registry in src/workload/).
 ///
 /// Patterns are the standard NoC evaluation set:
 ///  * kUniformRandom — every node sends to uniformly random others,
@@ -86,7 +88,7 @@ class TrafficEndpoint : public sim::Component {
         f.dst = net_.geometry().coord_of(dst);
         f.type = FlitType::kMessage;
         f.subtype = kMpData;
-        f.src_id = static_cast<std::uint8_t>(node_ & 0xF);
+        f.src_id = static_cast<std::uint8_t>(node_ & 0xFF);
         f.uid = net_.next_flit_uid();
         f.inject_cycle = now;
         inj.push(f);

@@ -39,14 +39,14 @@ void NocArbiter::step(sim::Fifo<noc::Flit>& inject,
     case ArbiterKind::kMux: {
       // No storage: grant one interface per cycle, directly to the switch.
       if (!inject.can_push()) {
-        if (!tie_q.empty() || !bridge_q.empty()) stats_.inc("arb.stall_cycles");
+        if (!tie_q.empty() || !bridge_q.empty()) ++st_stalls_;
         return;
       }
       noc::Flit f;
-      if (!tie_q.empty() && !bridge_q.empty()) stats_.inc("arb.contention");
+      if (!tie_q.empty() && !bridge_q.empty()) ++st_contention_;
       if (rr_pick(tie_q, bridge_q, rr_tie_next_, f)) {
         inject.push(f);
-        stats_.inc("arb.flits");
+        ++st_flits_;
       }
       break;
     }
@@ -54,10 +54,10 @@ void NocArbiter::step(sim::Fifo<noc::Flit>& inject,
       // Intake: one flit per cycle into the shared queue.
       if (hp_.size() < static_cast<std::size_t>(cfg_.fifo_depth)) {
         noc::Flit f;
-        if (!tie_q.empty() && !bridge_q.empty()) stats_.inc("arb.contention");
+        if (!tie_q.empty() && !bridge_q.empty()) ++st_contention_;
         if (rr_pick(tie_q, bridge_q, rr_tie_next_, f)) {
           hp_.push_back(f);
-          stats_.inc("arb.flits");
+          ++st_flits_;
         }
       }
       drain_into(inject);
@@ -71,13 +71,13 @@ void NocArbiter::step(sim::Fifo<noc::Flit>& inject,
           tie_fifo.size() < static_cast<std::size_t>(cfg_.fifo_depth)) {
         tie_fifo.push_back(tie_q.front());
         tie_q.pop_front();
-        stats_.inc("arb.flits");
+        ++st_flits_;
       }
       if (!bridge_q.empty() &&
           bridge_fifo.size() < static_cast<std::size_t>(cfg_.fifo_depth)) {
         bridge_fifo.push_back(bridge_q.front());
         bridge_q.pop_front();
-        stats_.inc("arb.flits");
+        ++st_flits_;
       }
       // Best-Effort is served only when High-Priority is empty.
       drain_into(inject);

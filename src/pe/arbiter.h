@@ -67,6 +67,11 @@ class NocArbiter {
 
   ArbiterConfig cfg_;
   sim::StatSet& stats_;
+  // Stat handles resolved once; step() runs every active PE cycle and
+  // must not pay a string-keyed lookup per event.
+  sim::Stat& st_stalls_ = stats_.counter("arb.stall_cycles");
+  sim::Stat& st_contention_ = stats_.counter("arb.contention");
+  sim::Stat& st_flits_ = stats_.counter("arb.flits");
   std::deque<noc::Flit> hp_;  // kSingleFifo uses hp_ as the single queue
   std::deque<noc::Flit> be_;
   bool rr_tie_next_ = true;   // round-robin pointer for contention

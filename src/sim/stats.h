@@ -12,8 +12,16 @@
 /// Every component owns (or shares) a StatSet; counters are created lazily
 /// on first use and are cheap to bump.  A StatSet can be merged into
 /// another, which the system level uses to aggregate per-PE statistics.
+///
+/// Hot paths (router/cache/arbiter tick functions) should not pay a
+/// string-keyed map lookup per event: counter() / accumulator() return
+/// stable references (std::map nodes never move) that components resolve
+/// once at construction and bump directly every cycle.
 
 namespace medea::sim {
+
+/// Integer counter type behind StatSet::counter() handles.
+using Stat = std::uint64_t;
 
 /// Simple accumulator for a stream of samples (e.g. packet latencies).
 class Accumulator {
@@ -72,8 +80,17 @@ class StatSet {
     return it == counters_.end() ? 0 : it->second;
   }
 
+  /// Stable reference to a counter (created at zero when absent).
+  /// std::map node addresses never move, so the handle stays valid for
+  /// the StatSet's lifetime (clear() invalidates it).  Resolve once in a
+  /// constructor, bump per tick — no per-event string lookup.
+  Stat& counter(const std::string& name) { return counters_[name]; }
+
   /// Record a sample into a named accumulator.
   void sample(const std::string& name, double v) { accs_[name].add(v); }
+
+  /// Stable reference to an accumulator (same contract as counter()).
+  Accumulator& accumulator(const std::string& name) { return accs_[name]; }
 
   const Accumulator& acc(const std::string& name) const {
     static const Accumulator kEmpty;

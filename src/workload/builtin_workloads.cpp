@@ -1,0 +1,273 @@
+/// The built-in workload set: both full-system applications (all
+/// programming-model variants), the four synthetic NoC patterns, and
+/// trace replay — everything behind the one registry the sweeps, the
+/// benches and the CLI share.
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/jacobi.h"
+#include "apps/reduction.h"
+#include "core/system.h"
+#include "noc/traffic.h"
+#include "workload/replay.h"
+#include "workload/workload.h"
+
+namespace medea::workload {
+namespace {
+
+// ---------------------------------------------------------------------
+// Full-system applications
+// ---------------------------------------------------------------------
+
+class JacobiWorkload final : public Workload {
+ public:
+  JacobiWorkload(std::string name, apps::JacobiVariant variant,
+                 std::string description)
+      : name_(std::move(name)),
+        variant_(variant),
+        description_(std::move(description)) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+
+  WorkloadResult run(const WorkloadParams& p,
+                     noc::FlitObserver* observer) const override {
+    core::MedeaConfig cfg = p.config;
+    cfg.workload = name_;
+    cfg.seed = p.seed;
+    core::MedeaSystem sys(cfg);
+    if (observer != nullptr) sys.network().set_observer(observer);
+
+    apps::JacobiParams jp;
+    jp.n = p.size > 0 ? p.size : 30;
+    jp.warmup_iterations = p.warmup_iterations;
+    jp.timed_iterations = p.iterations;
+    jp.variant = variant_;
+    jp.verify = p.verify;
+    const apps::JacobiResult res = apps::run_jacobi(sys, jp);
+
+    WorkloadResult r;
+    r.cycles = res.total_cycles;
+    r.metric = res.cycles_per_iteration;
+    r.metric_name = "cycles_per_iteration";
+    r.stats = sys.aggregate_stats();
+    r.flits_delivered = r.stats.get("noc.flits_delivered");
+    r.verified_ok = !jp.verify || res.max_abs_error == 0.0;
+    return r;
+  }
+
+ private:
+  std::string name_;
+  apps::JacobiVariant variant_;
+  std::string description_;
+};
+
+class ReductionWorkload final : public Workload {
+ public:
+  ReductionWorkload(std::string name, apps::ReductionVariant variant,
+                    std::string description)
+      : name_(std::move(name)),
+        variant_(variant),
+        description_(std::move(description)) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+
+  WorkloadResult run(const WorkloadParams& p,
+                     noc::FlitObserver* observer) const override {
+    core::MedeaConfig cfg = p.config;
+    cfg.workload = name_;
+    cfg.seed = p.seed;
+    core::MedeaSystem sys(cfg);
+    if (observer != nullptr) sys.network().set_observer(observer);
+
+    apps::ReductionParams rp;
+    rp.elements = p.size > 0 ? p.size : 1024;
+    rp.repeats = p.iterations;
+    rp.variant = variant_;
+    const apps::ReductionResult res = apps::run_reduction(sys, rp);
+
+    WorkloadResult r;
+    r.cycles = res.total_cycles;
+    r.metric = res.cycles_per_round;
+    r.metric_name = "cycles_per_round";
+    r.stats = sys.aggregate_stats();
+    r.flits_delivered = r.stats.get("noc.flits_delivered");
+    // The MP variant accumulates in rank order (exact); the SM variant's
+    // order follows lock grants, so it gets the documented tolerance.
+    r.verified_ok = !p.verify || res.abs_error <= 1e-9;
+    return r;
+  }
+
+ private:
+  std::string name_;
+  apps::ReductionVariant variant_;
+  std::string description_;
+};
+
+// ---------------------------------------------------------------------
+// NoC-only synthetic traffic
+// ---------------------------------------------------------------------
+
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(noc::TrafficPattern pattern)
+      : pattern_(pattern) {}
+
+  std::string name() const override { return noc::to_string(pattern_); }
+  std::string description() const override {
+    switch (pattern_) {
+      case noc::TrafficPattern::kUniformRandom:
+        return "synthetic NoC traffic: uniform-random destinations";
+      case noc::TrafficPattern::kHotspot:
+        return "synthetic NoC traffic: all nodes target one hotspot";
+      case noc::TrafficPattern::kTranspose:
+        return "synthetic NoC traffic: (x,y)->(y,x) permutation";
+      case noc::TrafficPattern::kNeighbor:
+        return "synthetic NoC traffic: nearest-neighbour ring";
+    }
+    return "synthetic NoC traffic";
+  }
+  bool noc_only() const override { return true; }
+
+  WorkloadResult run(const WorkloadParams& p,
+                     noc::FlitObserver* observer) const override {
+    sim::Scheduler sched;
+    noc::Network net(
+        sched,
+        noc::TorusGeometry(p.config.noc_width, p.config.noc_height),
+        p.config.router, p.seed);
+    if (observer != nullptr) net.set_observer(observer);
+
+    noc::TrafficConfig tc;
+    tc.pattern = pattern_;
+    tc.injection_rate = p.injection_rate;
+    tc.flits_per_node = p.flits_per_node;
+    tc.hotspot_node = p.hotspot_node;
+    tc.seed = p.seed;
+    const int received = noc::run_traffic(sched, net, tc);
+
+    WorkloadResult r;
+    r.cycles = sched.now();
+    r.metric = net.stats().acc("noc.latency").mean();
+    r.metric_name = "avg_flit_latency";
+    r.stats = net.stats();
+    r.flits_delivered = r.stats.get("noc.flits_delivered");
+    r.verified_ok = static_cast<std::uint64_t>(received) == r.flits_delivered;
+    return r;
+  }
+
+ private:
+  noc::TrafficPattern pattern_;
+};
+
+// ---------------------------------------------------------------------
+// Trace replay
+// ---------------------------------------------------------------------
+
+class ReplayWorkload final : public Workload {
+ public:
+  std::string name() const override { return "replay"; }
+  std::string description() const override {
+    return "re-inject a recorded flit trace into a bare NoC (fast-forward "
+           "mode; requires trace_path)";
+  }
+  bool noc_only() const override { return true; }
+
+  /// The replay NoC takes its geometry from the trace header, not from
+  /// the params config (recorders must be sized accordingly).
+  std::pair<int, int> noc_dims(const WorkloadParams& p) const override {
+    const TraceMeta meta = load_trace_meta(require_path(p));
+    return {meta.width, meta.height};
+  }
+
+  WorkloadResult run(const WorkloadParams& p,
+                     noc::FlitObserver* observer) const override {
+    const std::shared_ptr<const Trace> trace_ptr = load_cached(require_path(p));
+    const Trace& trace = *trace_ptr;
+
+    sim::Scheduler sched;
+    // Seed the NoC from the trace header, not the replay params: with
+    // random_tie_break routers the recorded deflection choices depend on
+    // the recorded seed, and bit-identical replay depends on matching it.
+    noc::Network net(sched,
+                     noc::TorusGeometry(trace.meta.width, trace.meta.height),
+                     p.config.router, trace.meta.seed);
+    if (observer != nullptr) net.set_observer(observer);
+    const ReplayResult res = run_replay(sched, net, trace);
+
+    WorkloadResult r;
+    r.cycles = res.cycles;
+    r.metric = static_cast<double>(res.last_delivery_cycle);
+    r.metric_name = "last_delivery_cycle";
+    r.stats = net.stats();
+    r.flits_delivered = res.flits_delivered;
+    // Every recorded flit must come out of the network again.
+    r.verified_ok = res.flits_delivered == trace.events.size();
+    return r;
+  }
+
+ private:
+  static const std::string& require_path(const WorkloadParams& p) {
+    if (p.trace_path.empty()) {
+      throw std::invalid_argument(
+          "replay workload: params.trace_path must name a recorded trace");
+    }
+    return p.trace_path;
+  }
+
+  /// Traces are immutable once recorded, and a DSE sweep replays the
+  /// same file at every design point from many threads — cache the last
+  /// parsed trace by path instead of re-reading and re-decoding it.
+  std::shared_ptr<const Trace> load_cached(const std::string& path) const {
+    {
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (cached_ != nullptr && cached_path_ == path) return cached_;
+    }
+    auto fresh = std::make_shared<const Trace>(load_trace(path));
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    cached_path_ = path;
+    cached_ = fresh;
+    return fresh;
+  }
+
+  mutable std::mutex cache_mutex_;
+  mutable std::string cached_path_;
+  mutable std::shared_ptr<const Trace> cached_;
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtins(WorkloadRegistry& reg) {
+  reg.add(std::make_unique<JacobiWorkload>(
+      "jacobi", apps::JacobiVariant::kHybridMp,
+      "Jacobi 2-D Laplace solver, hybrid message-passing variant (the "
+      "paper's benchmark)"));
+  reg.add(std::make_unique<JacobiWorkload>(
+      "jacobi-sync", apps::JacobiVariant::kHybridSyncOnly,
+      "Jacobi solver: shared-memory data exchange, message-passing "
+      "synchronization"));
+  reg.add(std::make_unique<JacobiWorkload>(
+      "jacobi-sm", apps::JacobiVariant::kPureSharedMemory,
+      "Jacobi solver: pure shared memory with lock-based barriers"));
+  reg.add(std::make_unique<ReductionWorkload>(
+      "reduction", apps::ReductionVariant::kMessagePassing,
+      "parallel dot product, message-passing gather+broadcast"));
+  reg.add(std::make_unique<ReductionWorkload>(
+      "reduction-sm", apps::ReductionVariant::kSharedMemory,
+      "parallel dot product, lock-protected shared accumulator"));
+  for (noc::TrafficPattern pat :
+       {noc::TrafficPattern::kUniformRandom, noc::TrafficPattern::kHotspot,
+        noc::TrafficPattern::kTranspose, noc::TrafficPattern::kNeighbor}) {
+    reg.add(std::make_unique<SyntheticWorkload>(pat));
+  }
+  reg.add(std::make_unique<ReplayWorkload>());
+}
+
+}  // namespace detail
+}  // namespace medea::workload

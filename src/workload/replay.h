@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/network.h"
+#include "sim/scheduler.h"
+#include "workload/trace.h"
+
+/// \file replay.h
+/// Trace replay: re-inject a recorded flit trace into a bare NoC.
+///
+/// The replayer is the fast-forward mode of the workload engine: it
+/// drives the cycle-accurate network with the exact injection schedule a
+/// full-system run produced, without instantiating PEs, caches, the MPMMU
+/// or any coroutine program.  Because the deflection router is a pure
+/// deterministic function of its inputs (and recorded uids preserve the
+/// oldest-first tie-breaks), a replay reproduces the recorded network
+/// behaviour bit-identically, at a fraction of the full simulation cost —
+/// which is what makes replay-driven NoC/DSE studies cheap.
+///
+/// Mechanics: each recorded event (cycle T, src) is pushed into node
+/// src's inject FIFO at cycle T-1 so it becomes visible — and, because
+/// the network state matches the recording, is injected — at exactly
+/// cycle T.  One sink component per node drains the eject queue.
+
+namespace medea::workload {
+
+struct ReplayResult {
+  sim::Cycle cycles = 0;          ///< cycle at which the replay went idle
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_delivered = 0;
+  sim::Cycle last_delivery_cycle = 0;
+};
+
+class TraceReplayer final : public sim::Component {
+ public:
+  /// Copies the trace's events; the Trace itself need not outlive the
+  /// replayer.  The network geometry must match trace.meta.
+  TraceReplayer(sim::Scheduler& sched, noc::Network& net, const Trace& trace);
+
+  void tick(sim::Cycle now) override;
+
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t delivered() const;
+  sim::Cycle last_delivery_cycle() const { return last_delivery_; }
+
+ private:
+  /// Drains one node's eject queue (stand-in for the PE/MPMMU consumer).
+  class Sink final : public sim::Component {
+   public:
+    Sink(sim::Scheduler& sched, noc::Network& net, int node,
+         TraceReplayer& owner);
+    void tick(sim::Cycle now) override;
+    std::uint64_t count() const { return count_; }
+
+   private:
+    sim::Fifo<noc::Flit>& q_;
+    TraceReplayer& owner_;
+    std::uint64_t count_ = 0;
+  };
+
+  noc::Network& net_;
+  int coord_bits_;
+  std::vector<TraceEvent> events_;
+  std::size_t next_ = 0;
+  sim::Cycle shift_ = 0;  ///< uniform offset keeping the first push at >= 1
+  std::uint64_t injected_ = 0;
+  sim::Cycle last_delivery_ = 0;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+};
+
+/// Convenience: replay `trace` on `net`, running `sched` to completion.
+/// Throws if the geometry mismatches or the cycle limit is hit.
+ReplayResult run_replay(sim::Scheduler& sched, noc::Network& net,
+                        const Trace& trace, sim::Cycle limit = 50'000'000);
+
+}  // namespace medea::workload

@@ -1,0 +1,247 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "noc/coord.h"
+
+namespace medea::workload {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'D', 'T', 'R'};
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Bounds-checked LEB128 reader over [data, data+size).
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos >= size) throw std::runtime_error("trace: truncated varint");
+      if (shift >= 64) throw std::runtime_error("trace: varint overflow");
+      const std::uint8_t b = data[pos++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  /// varint that must fit the target integer type.
+  template <typename T>
+  T varint_as(const char* what) {
+    const std::uint64_t v = varint();
+    if (v > static_cast<std::uint64_t>(std::numeric_limits<T>::max())) {
+      throw std::runtime_error(std::string("trace: field out of range: ") +
+                               what);
+    }
+    return static_cast<T>(v);
+  }
+};
+
+}  // namespace
+
+int coord_bits_for(int width, int height) {
+  const int m = std::max(width, height) - 1;
+  const int bits = std::bit_width(static_cast<unsigned>(m > 0 ? m : 0));
+  return bits > 0 ? bits : 1;
+}
+
+std::vector<std::uint8_t> serialize_trace(const Trace& t) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + t.meta.workload.size() + t.events.size() * 8);
+  // Byte-wise append: gcc-12 -O3 misfires stringop-overflow on
+  // vector::insert from a constexpr char[4].
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  out.push_back(kTraceVersion);
+  put_varint(out, static_cast<std::uint64_t>(t.meta.width));
+  put_varint(out, static_cast<std::uint64_t>(t.meta.height));
+  put_varint(out, static_cast<std::uint64_t>(t.meta.coord_bits));
+  put_varint(out, t.meta.seed);
+  put_varint(out, t.meta.total_cycles);
+  put_varint(out, t.meta.workload.size());
+  out.insert(out.end(), t.meta.workload.begin(), t.meta.workload.end());
+  put_varint(out, t.events.size());
+  sim::Cycle prev = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.cycle < prev) {
+      throw std::runtime_error("trace: events not sorted by cycle");
+    }
+    put_varint(out, e.cycle - prev);
+    prev = e.cycle;
+    put_varint(out, e.src);
+    put_varint(out, e.dst);
+    put_varint(out, e.size);
+    put_varint(out, e.uid);
+    put_varint(out, e.payload);
+  }
+  return out;
+}
+
+namespace {
+
+/// Parse and validate the header (magic, version, meta fields), leaving
+/// the reader positioned at the event count.
+TraceMeta parse_meta(Reader& r) {
+  if (r.size < 5 || std::memcmp(r.data, kMagic, 4) != 0) {
+    throw std::runtime_error("trace: bad magic (not a MEDEA trace)");
+  }
+  r.pos = 4;
+  const std::uint8_t version = r.data[r.pos++];
+  if (version != kTraceVersion) {
+    throw std::runtime_error("trace: unsupported version " +
+                             std::to_string(version));
+  }
+  TraceMeta m;
+  m.width = r.varint_as<int>("width");
+  m.height = r.varint_as<int>("height");
+  m.coord_bits = r.varint_as<int>("coord_bits");
+  m.seed = r.varint();
+  m.total_cycles = r.varint();
+  if (m.width < 1 || m.height < 1) {
+    throw std::runtime_error("trace: invalid geometry");
+  }
+  if (m.coord_bits < 1 || m.coord_bits > 8 ||
+      m.coord_bits < coord_bits_for(m.width, m.height)) {
+    throw std::runtime_error("trace: invalid coord_bits");
+  }
+  const auto name_len = r.varint_as<std::uint32_t>("workload name length");
+  if (r.pos + name_len > r.size) {
+    throw std::runtime_error("trace: truncated workload name");
+  }
+  m.workload.assign(reinterpret_cast<const char*>(r.data + r.pos), name_len);
+  r.pos += name_len;
+  return m;
+}
+
+}  // namespace
+
+Trace parse_trace(const std::uint8_t* data, std::size_t size) {
+  Reader r{data, size};
+  Trace t;
+  t.meta = parse_meta(r);
+
+  const std::uint64_t count = r.varint();
+  const int num_nodes = t.meta.width * t.meta.height;
+  // Each event is at least 6 bytes; a count larger than the remaining
+  // bytes allow is corrupt (and would otherwise trigger a huge reserve).
+  if (count > (r.size - r.pos)) {
+    throw std::runtime_error("trace: event count exceeds file size");
+  }
+  t.events.reserve(count);
+  sim::Cycle cycle = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent e;
+    cycle += r.varint();
+    e.cycle = cycle;
+    e.src = r.varint_as<std::uint16_t>("src");
+    e.dst = r.varint_as<std::uint16_t>("dst");
+    e.size = r.varint_as<std::uint16_t>("size");
+    e.uid = r.varint_as<std::uint32_t>("uid");
+    e.payload = r.varint();
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      throw std::runtime_error("trace: node id outside the recorded torus");
+    }
+    t.events.push_back(e);
+  }
+  if (r.pos != r.size) {
+    throw std::runtime_error("trace: trailing bytes after last event");
+  }
+  return t;
+}
+
+void save_trace(const Trace& t, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize_trace(t);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("trace: cannot open for writing: " + path);
+  }
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) throw std::runtime_error("trace: write failed: " + path);
+}
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path,
+                                    std::size_t at_most) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("trace: cannot open: " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[64 * 1024];
+  std::size_t n;
+  while (bytes.size() < at_most &&
+         (n = std::fread(buf, 1, std::min(sizeof buf, at_most - bytes.size()),
+                         f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw std::runtime_error("trace: read failed: " + path);
+  return bytes;
+}
+
+}  // namespace
+
+Trace load_trace(const std::string& path) {
+  const auto bytes =
+      read_file(path, std::numeric_limits<std::size_t>::max());
+  return parse_trace(bytes.data(), bytes.size());
+}
+
+TraceMeta load_trace_meta(const std::string& path) {
+  // The header is a handful of varints plus the workload name; 4 kB is
+  // orders of magnitude more than any real header needs.
+  const auto bytes = read_file(path, 4096);
+  Reader r{bytes.data(), bytes.size()};
+  return parse_meta(r);
+}
+
+TraceRecorder::TraceRecorder(int width, int height)
+    : width_(width),
+      height_(height),
+      coord_bits_(coord_bits_for(width, height)) {}
+
+void TraceRecorder::on_inject(sim::Cycle now, int node, const noc::Flit& f) {
+  TraceEvent e;
+  e.cycle = now;
+  e.src = static_cast<std::uint16_t>(node);
+  e.dst = static_cast<std::uint16_t>(f.dst.y * width_ + f.dst.x);
+  e.size = static_cast<std::uint16_t>(f.burst_size + 1);
+  e.uid = f.uid;
+  e.payload = noc::encode_flit(f, coord_bits_);
+  events_.push_back(e);
+}
+
+Trace TraceRecorder::take(sim::Cycle total_cycles, std::string workload,
+                          std::uint64_t seed) {
+  Trace t;
+  t.meta.width = width_;
+  t.meta.height = height_;
+  t.meta.coord_bits = coord_bits_;
+  t.meta.seed = seed;
+  t.meta.total_cycles = total_cycles;
+  t.meta.workload = std::move(workload);
+  t.events = std::move(events_);
+  events_.clear();
+  return t;
+}
+
+}  // namespace medea::workload

@@ -1,0 +1,78 @@
+#include "workload/workload.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace medea::workload {
+
+namespace detail {
+// Implemented in builtin_workloads.cpp; called once by the registry
+// constructor so the built-in set is always available.
+void register_builtins(WorkloadRegistry& reg);
+}  // namespace detail
+
+WorkloadRegistry::WorkloadRegistry() { detail::register_builtins(*this); }
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry reg;
+  return reg;
+}
+
+void WorkloadRegistry::add(std::unique_ptr<Workload> w) {
+  const std::string name = w->name();
+  const auto [it, inserted] = by_name_.emplace(name, std::move(w));
+  if (!inserted) {
+    throw std::invalid_argument("WorkloadRegistry: duplicate workload name '" +
+                                name + "'");
+  }
+}
+
+const Workload* WorkloadRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+const Workload& WorkloadRegistry::at(const std::string& name) const {
+  if (const Workload* w = find(name)) return *w;
+  std::string known;
+  for (const auto& [n, w] : by_name_) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("WorkloadRegistry: unknown workload '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<const Workload*> WorkloadRegistry::list() const {
+  std::vector<const Workload*> out;
+  out.reserve(by_name_.size());
+  for (const auto& [n, w] : by_name_) out.push_back(w.get());
+  return out;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [n, w] : by_name_) out.push_back(n);
+  return out;
+}
+
+WorkloadResult run_by_name(const std::string& name, const WorkloadParams& p,
+                           noc::FlitObserver* observer) {
+  return WorkloadRegistry::instance().at(name).run(p, observer);
+}
+
+WorkloadResult run_configured(const WorkloadParams& p,
+                              noc::FlitObserver* observer) {
+  return run_by_name(p.config.workload, p, observer);
+}
+
+Trace record_workload(const std::string& name, const WorkloadParams& p) {
+  const Workload& w = WorkloadRegistry::instance().at(name);
+  const auto [width, height] = w.noc_dims(p);
+  TraceRecorder rec(width, height);
+  const WorkloadResult res = w.run(p, &rec);
+  return rec.take(res.cycles, name, p.seed);
+}
+
+}  // namespace medea::workload

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "workload/trace.h"
+
+/// \file workload.h
+/// The workload engine: one name-addressable interface over everything
+/// the simulator can run.
+///
+/// Before this layer existed the repo could exercise exactly two
+/// hand-written applications (jacobi, reduction) plus an ad-hoc synthetic
+/// traffic helper, each behind its own entry point.  The registry unifies
+/// them — and trace-driven replay — behind one factory keyed by name, so
+/// the DSE sweeps, the benches and the CLI can run *any* scenario
+/// uniformly (the BookSim-style pluggable-traffic idea, applied to the
+/// whole workload axis):
+///
+///   jacobi | jacobi-sync | jacobi-sm    full-system Jacobi variants
+///   reduction | reduction-sm            full-system all-reduce variants
+///   uniform | hotspot | transpose | neighbor
+///                                       NoC-only synthetic patterns
+///   replay                              NoC-only trace replay
+///
+/// Any workload can be recorded (pass a TraceRecorder; it attaches to the
+/// run's NoC) and the resulting trace replayed through the `replay`
+/// workload or run_replay() directly.
+
+namespace medea::workload {
+
+/// Everything a workload needs to run.  `config` carries the machine
+/// knobs (NoC size, cores, L1, arbiter...); the rest are workload knobs
+/// with conventional meanings — workloads ignore what they don't use.
+struct WorkloadParams {
+  core::MedeaConfig config{};
+  int size = -1;                ///< problem size (grid n / elements); -1 = default
+  int iterations = 1;           ///< timed iterations / reduce rounds
+  int warmup_iterations = 1;    ///< untimed warm-up (apps only)
+  double injection_rate = 0.1;  ///< flits/node/cycle (synthetic only)
+  int flits_per_node = 1000;    ///< per-node budget (synthetic only)
+  int hotspot_node = 0;         ///< target of the hotspot pattern
+  std::uint64_t seed = 1;
+  bool verify = false;          ///< check against the host reference
+  std::string trace_path;       ///< input trace (replay workload only)
+};
+
+struct WorkloadResult {
+  sim::Cycle cycles = 0;        ///< simulated cycles to completion
+  double metric = 0.0;          ///< headline metric (see metric_name)
+  std::string metric_name;      ///< e.g. "cycles_per_iteration"
+  std::uint64_t flits_delivered = 0;  ///< NoC deliveries during the run
+  bool verified_ok = true;      ///< false only when verification failed
+  sim::StatSet stats;           ///< aggregate hardware statistics
+};
+
+/// One runnable scenario.  run() builds a fresh simulator every call
+/// and any internal state is behavior-free (e.g. the replay workload's
+/// trace cache), so workloads are safe to run concurrently from sweep
+/// worker threads.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+
+  /// NoC-only workloads build just a Network (no PEs/MPMMU); core and
+  /// cache knobs in the config are ignored.
+  virtual bool noc_only() const { return false; }
+
+  /// {width, height} of the NoC a run(p, ...) will actually build.
+  /// Defaults to the config torus; the replay workload answers from the
+  /// trace header instead.  Recorders must be sized from this (a
+  /// recorder sized for the wrong geometry would mis-linearize node ids
+  /// and truncate coordinates).
+  virtual std::pair<int, int> noc_dims(const WorkloadParams& p) const {
+    return {p.config.noc_width, p.config.noc_height};
+  }
+
+  /// Run the workload.  When `observer` is non-null it is attached as
+  /// the NoC's flit observer for the duration of the run (pass a
+  /// TraceRecorder to capture a replayable trace, or any other
+  /// FlitObserver for instrumentation).
+  virtual WorkloadResult run(const WorkloadParams& p,
+                             noc::FlitObserver* observer = nullptr) const = 0;
+};
+
+/// Name-keyed workload factory.  Built-ins self-register on first use;
+/// add() extends it with custom scenarios at runtime.
+class WorkloadRegistry {
+ public:
+  /// The process-wide registry (built-ins pre-registered).
+  static WorkloadRegistry& instance();
+
+  /// Register a workload; throws std::invalid_argument on duplicates.
+  void add(std::unique_ptr<Workload> w);
+
+  /// nullptr when unknown.
+  const Workload* find(const std::string& name) const;
+
+  /// Throws std::invalid_argument (listing known names) when unknown.
+  const Workload& at(const std::string& name) const;
+
+  /// All registered workloads, name-sorted.
+  std::vector<const Workload*> list() const;
+
+  /// All registered names, sorted (for error messages and --list).
+  std::vector<std::string> names() const;
+
+ private:
+  WorkloadRegistry();
+  std::map<std::string, std::unique_ptr<Workload>> by_name_;
+};
+
+/// Run the registry workload `name` (throws on unknown names).
+WorkloadResult run_by_name(const std::string& name, const WorkloadParams& p,
+                           noc::FlitObserver* observer = nullptr);
+
+/// Run the workload selected by p.config.workload.
+WorkloadResult run_configured(const WorkloadParams& p,
+                              noc::FlitObserver* observer = nullptr);
+
+/// Record workload `name` into a trace (runs it once with a recorder on
+/// the NoC; the trace header captures geometry, seed and cycle count).
+Trace record_workload(const std::string& name, const WorkloadParams& p);
+
+}  // namespace medea::workload

@@ -115,10 +115,20 @@ TEST(CacheWays, DirectMappedConflictsWhereTwoWaySurvives) {
 // System config validation and topology options
 // ---------------------------------------------------------------------
 
-TEST(ConfigValidation, RejectsOversizedNocForSrcIdField) {
+TEST(ConfigValidation, AcceptsEightByEightTorus) {
+  // The 8-bit SRCID field (widened from the paper's 4 bits) makes 8x8+
+  // tori representable.
   core::MedeaConfig cfg;
   cfg.noc_width = 8;
-  cfg.noc_height = 8;  // 64 nodes > 16 encodable src ids
+  cfg.noc_height = 8;  // 64 nodes <= 256 encodable src ids
+  cfg.num_compute_cores = 4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidation, RejectsOversizedNocForSrcIdField) {
+  core::MedeaConfig cfg;
+  cfg.noc_width = 17;
+  cfg.noc_height = 17;  // 289 nodes > 256 encodable src ids
   cfg.num_compute_cores = 4;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }

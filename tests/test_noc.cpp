@@ -58,13 +58,26 @@ TEST(FlitCodec, AllTypeSubtypeCombinationsRoundTrip) {
 }
 
 TEST(FlitCodec, FitsIn64BitsWithHeadroom) {
-  // 1 + 2 + 2 + 3 + 2 + 4 + 2 + 4 + 32 = 52 bits used.
+  // 1 + 2 + 2 + 3 + 2 + 4 + 2 + 8 + 32 = 56 bits used.
   const int used = FlitFormat::kValidBits + 2 * FlitFormat::kCoordBits +
                    FlitFormat::kTypeBits + FlitFormat::kSubTypeBits +
                    FlitFormat::kSeqNumBits + FlitFormat::kBurstBits +
                    FlitFormat::kSrcIdBits + FlitFormat::kDataBits;
-  EXPECT_EQ(used, 52);
+  EXPECT_EQ(used, 56);
   EXPECT_LE(used, 64);
+}
+
+TEST(FlitCodec, EightBitSrcIdRoundTripsLargeNodeIds) {
+  // An 8x8 torus has node ids up to 63; the widened SRCID must carry
+  // them (and anything up to 255) exactly, including in the wide
+  // coordinate encoding needed for >4x4 fabrics.
+  for (int id : {15, 16, 63, 255}) {
+    Flit f = sample_flit();
+    f.src_id = static_cast<std::uint8_t>(id);
+    EXPECT_EQ(decode_flit(encode_flit(f)).src_id, id);
+    f.dst = {7, 7};
+    EXPECT_EQ(decode_flit(encode_flit(f, 3), 3).src_id, id);
+  }
 }
 
 TEST(FlitCodec, WideCoordinateEncoding) {
