@@ -23,11 +23,16 @@
 ///     --stats                dump aggregate statistics
 ///     --record=FILE          record the run's flit trace to FILE
 ///     --trace=FILE           input trace (replay workload)
+///     --network=deflection|xy  fabric for synthetic patterns
+///     --trace-scale=F        replay: rate-scale the trace first
+///     --force                replay: allow a RouterConfig that differs
+///                            from the recorded (v2) trace header
 ///
 /// Examples:
 ///   run_workload uniform --width=8 --height=8 --rate=0.2
+///   run_workload bitrev --network=xy --record=xy.mdtr
 ///   run_workload jacobi --size=30 --record=jacobi.mdtr
-///   run_workload replay --trace=jacobi.mdtr
+///   run_workload replay --trace=jacobi.mdtr --trace-scale=2.0
 ///
 /// Exit code 0 on success (and verification pass), 1 otherwise.
 
@@ -58,7 +63,8 @@ int usage() {
       "       run_workload <name> [--width=W] [--height=H] [--cores=P]\n"
       "         [--cache-kb=K] [--policy=wb|wt] [--size=N] [--iters=I]\n"
       "         [--rate=R] [--flits=F] [--hotspot=NODE] [--seed=S]\n"
-      "         [--verify] [--stats] [--record=FILE] [--trace=FILE]\n");
+      "         [--verify] [--stats] [--record=FILE] [--trace=FILE]\n"
+      "         [--network=deflection|xy] [--trace-scale=F] [--force]\n");
   return 1;
 }
 
@@ -116,6 +122,12 @@ int main(int argc, char** argv) {
       record_path = v12;
     } else if (const char* v13 = val("--trace")) {
       p.trace_path = v13;
+    } else if (const char* v14 = val("--network")) {
+      p.network = v14;
+    } else if (const char* v15 = val("--trace-scale")) {
+      p.trace_scale = std::atof(v15);
+    } else if (a == "--force") {
+      p.force_replay_config = true;
     } else if (a == "--verify") {
       p.verify = true;
     } else if (a == "--stats") {
@@ -130,9 +142,7 @@ int main(int argc, char** argv) {
   try {
     workload::WorkloadResult res;
     if (!record_path.empty()) {
-      workload::TraceRecorder rec(p.config.noc_width, p.config.noc_height);
-      res = workload::run_by_name(name, p, &rec);
-      const workload::Trace t = rec.take(res.cycles, name, p.seed);
+      const workload::Trace t = workload::record_workload(name, p, &res);
       workload::save_trace(t, record_path);
       std::printf("recorded %zu injection events to %s\n", t.events.size(),
                   record_path.c_str());

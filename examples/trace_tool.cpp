@@ -1,0 +1,216 @@
+/// trace_tool — the trace toolkit's command-line front-end: inspect,
+/// transform, diff and merge MDTR flit traces without touching the
+/// simulator (record with `run_workload --record`, replay with
+/// `run_workload replay --trace`).
+///
+///   trace_tool inspect FILE [--buckets=N]
+///       Header, per-source injection rates, the src->dst heatmap and
+///       the injection-over-time profile.
+///
+///   trace_tool transform IN -o OUT [passes...]
+///       Apply a pipeline of transform passes (in the order given):
+///         --scale=F          rate-scale the injection schedule
+///                            (F > 1 compresses cycles = higher load)
+///         --remap=WxH        retarget onto a WxH torus (coordinate-
+///                            preserving bijective embedding)
+///         --remap-tiled=WxH  tile the recording across a WxH torus
+///                            (dims must be integer multiples)
+///         --window=B:E       keep cycles [B, E), rebased to the start
+///         --window-raw=B:E   same without rebasing
+///       The output is fully validated before it is written.
+///
+///   trace_tool diff A B
+///       Report the first divergence (meta field or event) between two
+///       traces.  Exit 0 when bit-identical, 2 when different — CI uses
+///       this to assert replay/round-trip fidelity.
+///
+///   trace_tool merge A B -o OUT
+///       Interleave two recordings of the same fabric into one
+///       multi-tenant trace (uids re-spaced).
+///
+/// Exit codes: 0 success, 1 usage/processing error, 2 diff found
+/// differences.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+#include "workload/xform/inspect.h"
+#include "workload/xform/transform.h"
+
+using namespace medea;
+using workload::Trace;
+namespace xform = medea::workload::xform;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_tool inspect FILE [--buckets=N]\n"
+      "       trace_tool transform IN -o OUT [--scale=F] [--remap=WxH]\n"
+      "         [--remap-tiled=WxH] [--window=B:E] [--window-raw=B:E]\n"
+      "       trace_tool diff A B\n"
+      "       trace_tool merge A B -o OUT\n");
+  return 1;
+}
+
+/// "--key=value" matcher (returns the value or nullptr).
+const char* opt_value(const std::string& arg, const char* key) {
+  const std::size_t klen = std::strlen(key);
+  if (arg.compare(0, klen, key) == 0 && arg.size() > klen &&
+      arg[klen] == '=') {
+    return arg.c_str() + klen + 1;
+  }
+  return nullptr;
+}
+
+bool parse_dims(const char* s, int* w, int* h) {
+  char* end = nullptr;
+  const long lw = std::strtol(s, &end, 10);
+  if (end == s || *end != 'x') return false;
+  const char* hs = end + 1;
+  const long lh = std::strtol(hs, &end, 10);
+  if (end == hs || *end != '\0') return false;
+  *w = static_cast<int>(lw);
+  *h = static_cast<int>(lh);
+  return true;
+}
+
+bool parse_range(const char* s, unsigned long long* b, unsigned long long* e) {
+  char* end = nullptr;
+  *b = std::strtoull(s, &end, 10);
+  if (end == s || *end != ':') return false;
+  const char* es = end + 1;
+  *e = std::strtoull(es, &end, 10);
+  return end != es && *end == '\0';
+}
+
+int cmd_inspect(int argc, char** argv) {
+  const char* path = nullptr;
+  int buckets = 16;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = opt_value(argv[i], "--buckets")) {
+      buckets = std::atoi(v);
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+  const Trace t = workload::load_trace(path);
+  const auto insp = xform::inspect_trace(t, buckets);
+  std::fputs(xform::format_inspection(t, insp).c_str(), stdout);
+  return 0;
+}
+
+int cmd_transform(int argc, char** argv) {
+  const char* in_path = nullptr;
+  const char* out_path = nullptr;
+  xform::Pipeline pipeline;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (const char* v = opt_value(a, "--scale")) {
+      pipeline.add(std::make_unique<xform::RateScale>(std::atof(v)));
+    } else if (const char* v2 = opt_value(a, "--remap")) {
+      int w = 0, h = 0;
+      if (!parse_dims(v2, &w, &h)) return usage();
+      pipeline.add(std::make_unique<xform::RemapNodes>(
+          w, h, xform::RemapMode::kBijective));
+    } else if (const char* v3 = opt_value(a, "--remap-tiled")) {
+      int w = 0, h = 0;
+      if (!parse_dims(v3, &w, &h)) return usage();
+      pipeline.add(
+          std::make_unique<xform::RemapNodes>(w, h, xform::RemapMode::kTiled));
+    } else if (const char* v4 = opt_value(a, "--window")) {
+      unsigned long long b = 0, e = 0;
+      if (!parse_range(v4, &b, &e)) return usage();
+      pipeline.add(std::make_unique<xform::TimeWindow>(b, e, true));
+    } else if (const char* v5 = opt_value(a, "--window-raw")) {
+      unsigned long long b = 0, e = 0;
+      if (!parse_range(v5, &b, &e)) return usage();
+      pipeline.add(std::make_unique<xform::TimeWindow>(b, e, false));
+    } else if (a[0] != '-' && in_path == nullptr) {
+      in_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path == nullptr || out_path == nullptr) return usage();
+  if (pipeline.empty()) {
+    std::fprintf(stderr, "transform: no passes given (nothing to do)\n");
+    return 1;
+  }
+  const Trace in = workload::load_trace(in_path);
+  const Trace out = pipeline.apply(in);
+  workload::validate_trace(out);
+  workload::save_trace(out, out_path);
+  std::printf("%s: %zu events (%dx%d) -> %s: %zu events (%dx%d) via %s\n",
+              in_path, in.events.size(), in.meta.width, in.meta.height,
+              out_path, out.events.size(), out.meta.width, out.meta.height,
+              pipeline.describe().c_str());
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const Trace a = workload::load_trace(argv[0]);
+  const Trace b = workload::load_trace(argv[1]);
+  const auto d = xform::diff_traces(a, b);
+  if (d.identical) {
+    std::printf("identical: %zu events, meta equal\n", d.a_events);
+    return 0;
+  }
+  std::printf("traces differ (a: %zu events, b: %zu events)\n", d.a_events,
+              d.b_events);
+  std::printf("first difference: %s\n", d.first_difference.c_str());
+  return 2;
+}
+
+int cmd_merge(int argc, char** argv) {
+  const char* out_path = nullptr;
+  std::vector<const char*> inputs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a[0] != '-') {
+      inputs.push_back(argv[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (inputs.size() != 2 || out_path == nullptr) return usage();
+  const Trace a = workload::load_trace(inputs[0]);
+  const Trace b = workload::load_trace(inputs[1]);
+  const Trace merged = xform::merge_traces(a, b);
+  workload::validate_trace(merged);
+  workload::save_trace(merged, out_path);
+  std::printf("merged %zu + %zu -> %zu events into %s\n", a.events.size(),
+              b.events.size(), merged.events.size(), out_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
+    if (cmd == "transform") return cmd_transform(argc - 2, argv + 2);
+    if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+    if (cmd == "merge") return cmd_merge(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

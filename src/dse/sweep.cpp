@@ -39,7 +39,8 @@ core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
 }
 
 SweepPoint run_design_point(const SweepSpec& spec, int cores,
-                            std::uint32_t cache_kb, mem::WritePolicy policy) {
+                            std::uint32_t cache_kb, mem::WritePolicy policy,
+                            double trace_scale) {
   const std::string name = workload_name(spec);
 
   workload::WorkloadParams wp;
@@ -49,6 +50,7 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
   wp.iterations = spec.timed_iterations;
   wp.warmup_iterations = spec.warmup_iterations;
   wp.trace_path = spec.trace_path;
+  wp.trace_scale = trace_scale;
   const workload::WorkloadResult res = workload::run_by_name(name, wp);
 
   SweepPoint pt;
@@ -60,8 +62,10 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
   pt.cycles_per_iteration = res.metric;
   pt.metric_name = res.metric_name;
   pt.area_mm2 = spec.area.chip_area_mm2(wp.config);
+  pt.trace_scale = trace_scale;
   std::ostringstream label;
   label << cores << "P_" << cache_kb << "k$_" << mem::to_string(policy);
+  if (trace_scale != 1.0) label << "_x" << trace_scale;
   pt.label = label.str();
   return pt;
 }
@@ -71,11 +75,20 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     int cores;
     std::uint32_t cache_kb;
     mem::WritePolicy policy;
+    double trace_scale;
   };
+  // The replay rate-sweep axis multiplies the cross product; everything
+  // else runs each cell once, verbatim.
+  std::vector<double> scales = {1.0};
+  if (spec.workload == "replay" && !spec.trace_scales.empty()) {
+    scales = spec.trace_scales;
+  }
   std::vector<Job> jobs;
   for (int c : spec.cores) {
     for (auto kb : spec.cache_kb) {
-      for (auto pol : spec.policies) jobs.push_back({c, kb, pol});
+      for (auto pol : spec.policies) {
+        for (double s : scales) jobs.push_back({c, kb, pol, s});
+      }
     }
   }
   std::vector<SweepPoint> out(jobs.size());
@@ -93,7 +106,8 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
       const Job& j = jobs[i];
-      out[i] = run_design_point(spec, j.cores, j.cache_kb, j.policy);
+      out[i] =
+          run_design_point(spec, j.cores, j.cache_kb, j.policy, j.trace_scale);
     }
   };
   if (threads == 1) {

@@ -36,6 +36,12 @@ struct SweepSpec {
   /// programming-model ablations).
   std::string workload = "jacobi";
   std::string trace_path;  ///< input trace when workload == "replay"
+  /// Replay-only rate sweep: each factor adds one design point per
+  /// (cores, cache, policy) cell, replaying the trace with its injection
+  /// schedule scaled by that factor (xform::RateScale) — the toolkit's
+  /// fast-forward answer to "how does this recorded traffic behave at
+  /// 0.5x/2x load?".  Empty (the default) means verbatim replay only.
+  std::vector<double> trace_scales;
 
   int n = 60;  ///< problem size (Jacobi grid / reduction elements)
   std::vector<int> cores = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
@@ -61,7 +67,8 @@ struct SweepPoint {
   double cycles_per_iteration = 0.0;
   std::string metric_name;
   double area_mm2 = 0.0;
-  std::string label;  ///< e.g. "11P_16k$_WB"
+  double trace_scale = 1.0;  ///< replay rate-sweep factor (1.0 = verbatim)
+  std::string label;  ///< e.g. "11P_16k$_WB" (replay scales append "_x<f>")
 };
 
 /// Build the MedeaConfig for one design point (shared by sweeps, tests
@@ -69,9 +76,11 @@ struct SweepPoint {
 core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
                                      mem::WritePolicy policy);
 
-/// Run one design point.
+/// Run one design point (trace_scale != 1.0 only makes sense for the
+/// replay workload).
 SweepPoint run_design_point(const SweepSpec& spec, int cores,
-                            std::uint32_t cache_kb, mem::WritePolicy policy);
+                            std::uint32_t cache_kb, mem::WritePolicy policy,
+                            double trace_scale = 1.0);
 
 /// Run the full cross product (optionally multi-threaded).  Result order
 /// is deterministic (cores-major, then cache, then policy).

@@ -102,4 +102,21 @@ std::uint64_t encode_flit(const Flit& f, int coord_bits = FlitFormat::kCoordBits
 /// Inverse of encode_flit.  Simulation metadata comes back zeroed.
 Flit decode_flit(std::uint64_t word, int coord_bits = FlitFormat::kCoordBits);
 
+/// Observer of flit-level network events, called synchronously from a
+/// router's tick (both the deflection router and the buffered-XY
+/// baseline fire it, so either fabric can be traced).  Used by the
+/// workload trace recorder and by determinism tests; null (the default)
+/// costs one pointer test per event.
+///
+/// on_inject fires when a flit leaves the local inject queue and enters
+/// the switched fabric (its inject_cycle has just been stamped);
+/// on_deliver fires when a flit is placed into the destination's eject
+/// queue.  `node` is the linear node id of the router involved.
+class FlitObserver {
+ public:
+  virtual ~FlitObserver() = default;
+  virtual void on_inject(sim::Cycle now, int node, const Flit& f) = 0;
+  virtual void on_deliver(sim::Cycle now, int node, const Flit& f) = 0;
+};
+
 }  // namespace medea::noc

@@ -20,7 +20,7 @@ Dir opposite(Dir d) {
 
 Network::Network(sim::Scheduler& sched, const TorusGeometry& geom,
                  const RouterConfig& cfg, std::uint64_t seed)
-    : geom_(geom) {
+    : geom_(geom), cfg_(cfg) {
   // Expand the network seed into one private stream per router (see the
   // DeflectionRouter constructor comment: per-router generators keep
   // stochastic tie-breaks independent of within-cycle tick order).

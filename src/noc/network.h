@@ -35,6 +35,10 @@ class Network {
   const TorusGeometry& geometry() const { return geom_; }
   int num_nodes() const { return geom_.num_nodes(); }
 
+  /// Router configuration this network was built with (persisted into
+  /// trace headers; replay verifies it against the recording).
+  const RouterConfig& config() const { return cfg_; }
+
   /// Local-port access for the node's network interface.
   sim::Fifo<Flit>& inject(int node_id) { return router(node_id).inject(); }
   sim::Fifo<Flit>& eject(int node_id) { return router(node_id).eject(); }
@@ -63,6 +67,7 @@ class Network {
 
  private:
   TorusGeometry geom_;
+  RouterConfig cfg_;
   sim::StatSet stats_;
   std::vector<std::unique_ptr<DeflectionRouter>> routers_;
   std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;

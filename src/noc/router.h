@@ -31,26 +31,16 @@
 
 namespace medea::noc {
 
-/// Observer of flit-level network events, called synchronously from the
-/// router's tick.  Used by the workload trace recorder and by determinism
-/// tests; null (the default) costs one pointer test per event.
-///
-/// on_inject fires when a flit leaves the local inject queue and enters
-/// the switched fabric (its inject_cycle has just been stamped);
-/// on_deliver fires when a flit is placed into the destination's eject
-/// queue.  `node` is the linear node id of the router involved.
-class FlitObserver {
- public:
-  virtual ~FlitObserver() = default;
-  virtual void on_inject(sim::Cycle now, int node, const Flit& f) = 0;
-  virtual void on_deliver(sim::Cycle now, int node, const Flit& f) = 0;
-};
+// FlitObserver (the flit-event hook both router models fire) lives in
+// flit.h so the buffered-XY baseline can use it without this header.
 
 struct RouterConfig {
   int eject_per_cycle = 1;      ///< local delivery bandwidth (flits/cycle)
   int inject_queue_depth = 2;   ///< NI-side injection staging
   int eject_queue_depth = 4;    ///< NI-side delivery staging
   bool random_tie_break = false;  ///< age ties: random port pick vs fixed scan
+
+  bool operator==(const RouterConfig&) const = default;
 };
 
 class DeflectionRouter : public sim::Component {

@@ -1,5 +1,7 @@
 #include "noc/traffic.h"
 
+#include <bit>
+
 namespace medea::noc {
 
 const char* to_string(TrafficPattern p) {
@@ -8,6 +10,7 @@ const char* to_string(TrafficPattern p) {
     case TrafficPattern::kHotspot: return "hotspot";
     case TrafficPattern::kTranspose: return "transpose";
     case TrafficPattern::kNeighbor: return "neighbor";
+    case TrafficPattern::kBitReversal: return "bitrev";
   }
   return "?";
 }
@@ -34,6 +37,21 @@ int pick_destination(TrafficPattern p, const TorusGeometry& geom, int src,
     }
     case TrafficPattern::kNeighbor:
       return (src + 1) % geom.num_nodes();
+    case TrafficPattern::kBitReversal: {
+      // Reverse the node id within the fabric's index width.  Exact
+      // permutation on power-of-two fabrics; on others the reversal can
+      // land outside the torus, folded back with a modulo (palindromic
+      // ids map to themselves; endpoints drop those self-slots).
+      const int n = geom.num_nodes();
+      const int bits = std::bit_width(static_cast<unsigned>(n - 1));
+      unsigned v = static_cast<unsigned>(src);
+      unsigned r = 0;
+      for (int b = 0; b < bits; ++b) {
+        r = (r << 1) | (v & 1u);
+        v >>= 1;
+      }
+      return static_cast<int>(r) % n;
+    }
   }
   return src;
 }

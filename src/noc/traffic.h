@@ -22,7 +22,10 @@
 ///  * kHotspot      — all traffic converges on one node (the MPMMU
 ///                    pattern: what pure shared memory does to the NoC),
 ///  * kTranspose    — (x,y) -> (y,x), a classic adversarial permutation,
-///  * kNeighbor     — nearest-neighbour ring, the halo-exchange pattern.
+///  * kNeighbor     — nearest-neighbour ring, the halo-exchange pattern,
+///  * kBitReversal  — node i -> bit-reverse(i), the FFT butterfly
+///                    permutation (asymmetric, long-haul; the classic
+///                    worst case for dimension-ordered routing).
 ///
 /// A TrafficEndpoint injects flits at a Bernoulli rate per cycle into any
 /// fabric exposing inject/eject FIFOs, and sinks whatever arrives.  The
@@ -36,6 +39,7 @@ enum class TrafficPattern : std::uint8_t {
   kHotspot,
   kTranspose,
   kNeighbor,
+  kBitReversal,
 };
 
 const char* to_string(TrafficPattern p);

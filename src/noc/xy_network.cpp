@@ -18,7 +18,7 @@ Dir opposite(Dir d) {
 
 XyNetwork::XyNetwork(sim::Scheduler& sched, const TorusGeometry& geom,
                      const XyRouterConfig& cfg, bool torus_wrap)
-    : geom_(geom) {
+    : geom_(geom), cfg_(cfg), torus_wrap_(torus_wrap) {
   routers_.reserve(static_cast<std::size_t>(geom_.num_nodes()));
   for (int id = 0; id < geom_.num_nodes(); ++id) {
     routers_.push_back(std::make_unique<XyRouter>(
@@ -38,6 +38,10 @@ XyNetwork::XyNetwork(sim::Scheduler& sched, const TorusGeometry& geom,
       links_.push_back(std::move(link));
     }
   }
+}
+
+void XyNetwork::set_observer(FlitObserver* obs) {
+  for (auto& r : routers_) r->set_observer(obs);
 }
 
 std::size_t XyNetwork::total_buffered() const {

@@ -26,6 +26,11 @@ class XyNetwork {
   const TorusGeometry& geometry() const { return geom_; }
   int num_nodes() const { return geom_.num_nodes(); }
 
+  /// Router configuration and wrap mode this fabric was built with
+  /// (persisted into trace headers; replay verifies them).
+  const XyRouterConfig& config() const { return cfg_; }
+  bool torus_wrap() const { return torus_wrap_; }
+
   sim::Fifo<Flit>& inject(int node_id) { return router(node_id).inject(); }
   sim::Fifo<Flit>& eject(int node_id) { return router(node_id).eject(); }
 
@@ -34,13 +39,26 @@ class XyNetwork {
   sim::StatSet& stats() { return stats_; }
   const sim::StatSet& stats() const { return stats_; }
 
+  /// Attach a flit-event observer to every router (nullptr detaches).
+  /// Gives the buffered-XY baseline the same record/replay capability
+  /// the deflection fabric has.
+  void set_observer(FlitObserver* obs);
+
   std::uint32_t next_flit_uid() { return next_uid_++; }
+
+  /// Reserve uid space: make the next next_flit_uid() return at least
+  /// `floor` (trace replay keeps recorded uids collision-free with it).
+  void reserve_flit_uids(std::uint32_t floor) {
+    if (floor > next_uid_) next_uid_ = floor;
+  }
 
   /// Sum of all flits buffered inside routers right now.
   std::size_t total_buffered() const;
 
  private:
   TorusGeometry geom_;
+  XyRouterConfig cfg_;
+  bool torus_wrap_;
   sim::StatSet stats_;
   std::vector<std::unique_ptr<XyRouter>> routers_;
   std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;

@@ -10,6 +10,7 @@ XyRouter::XyRouter(sim::Scheduler& sched, const TorusGeometry& geom, Coord pos,
     : sim::Component(sched, "xyrouter" + pos.to_string()),
       geom_(geom),
       pos_(pos),
+      node_id_(geom.node_id(pos)),
       cfg_(cfg),
       torus_wrap_(torus_wrap),
       stats_(stats),
@@ -74,6 +75,7 @@ void XyRouter::tick(sim::Cycle now) {
       buf_[kNumDirs].size() < static_cast<std::size_t>(cfg_.input_buffer_depth)) {
     Flit f = inject_q_.pop();
     f.inject_cycle = now;
+    if (observer_ != nullptr) observer_->on_inject(now, node_id_, f);
     buf_[kNumDirs].push_back(f);
     stats_.inc("xynoc.flits_injected");
   }
@@ -96,6 +98,7 @@ void XyRouter::tick(sim::Cycle now) {
       stats_.inc("xynoc.flits_delivered");
       stats_.sample("xynoc.latency", static_cast<double>(now - f.inject_cycle));
       stats_.sample("xynoc.hops", f.hops);
+      if (observer_ != nullptr) observer_->on_deliver(now, node_id_, f);
       eject_q_.push(f);
       continue;
     }

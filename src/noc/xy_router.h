@@ -40,6 +40,8 @@ struct XyRouterConfig {
   int eject_per_cycle = 1;
   int inject_queue_depth = 2;
   int eject_queue_depth = 4;
+
+  bool operator==(const XyRouterConfig&) const = default;
 };
 
 class XyRouter : public sim::Component {
@@ -55,6 +57,11 @@ class XyRouter : public sim::Component {
   sim::Fifo<Flit>& inject() { return inject_q_; }
   sim::Fifo<Flit>& eject() { return eject_q_; }
 
+  /// Attach (or detach with nullptr) a flit-event observer — the same
+  /// hook DeflectionRouter has, so the trace recorder can capture the
+  /// buffered-XY baseline for record/replay comparison studies.
+  void set_observer(FlitObserver* obs) { observer_ = obs; }
+
   void tick(sim::Cycle now) override;
 
   /// Total flits currently buffered in this router (occupancy metric —
@@ -68,9 +75,11 @@ class XyRouter : public sim::Component {
 
   const TorusGeometry& geom_;
   Coord pos_;
+  int node_id_;
   XyRouterConfig cfg_;
   bool torus_wrap_;
   sim::StatSet& stats_;
+  FlitObserver* observer_ = nullptr;
 
   std::array<sim::Fifo<Flit>*, kNumDirs> in_{};
   std::array<sim::Fifo<Flit>*, kNumDirs> out_{};

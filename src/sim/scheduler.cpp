@@ -19,6 +19,20 @@ void Scheduler::wake_at(Component& c, Cycle at) {
   } else {
     assert(at >= now_);
   }
+  ++wake_requests_;
+  // Push-time dedup: if this component already has a heap entry for the
+  // same strictly-future cycle, skip the push entirely.  The stamp is
+  // sound because an event for cycle `at` leaves the heap only once
+  // now_ reaches `at`, after which every new wake must target a cycle
+  // > now_ >= at and can never alias the stale stamp.  `at == now_`
+  // wakes (legal between runs) bypass the dedup: their heap entry may
+  // already have been consumed this cycle, so skipping could lose the
+  // wake — the pop-time last_ticked_ guard handles those instead.
+  if (at > now_ && c.last_wake_cycle_ == at) {
+    ++wakes_deduped_;
+    return;
+  }
+  c.last_wake_cycle_ = at;
   heap_.push(Event{at, seq_++, &c});
 }
 

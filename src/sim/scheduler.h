@@ -56,6 +56,7 @@ class Component {
   Scheduler& sched_;
   std::string name_;
   Cycle last_ticked_ = kNeverCycle;  // dedup guard for same-cycle wakes
+  Cycle last_wake_cycle_ = 0;        // push-time dedup stamp (see wake_at)
 };
 
 /// Anything with staged state that must be made visible at end of cycle.
@@ -79,7 +80,19 @@ class Scheduler {
 
   /// Schedule component c to tick at absolute cycle `at`.
   /// While dispatching a cycle, `at` must be strictly in the future.
+  ///
+  /// Duplicate wakes for the same (component, future cycle) are deduped
+  /// at push time via a per-component last-wake stamp, so a hot FIFO
+  /// fan-in (N channels committing into one router in the same cycle)
+  /// costs one heap push instead of N.  A second dedup layer at pop time
+  /// (Component::last_ticked_) covers the remaining `at == now` path.
   void wake_at(Component& c, Cycle at);
+
+  /// Heap-pressure counters: total wake_at() requests and how many were
+  /// absorbed by the push-time dedup (never reached the heap).
+  std::uint64_t wake_requests() const { return wake_requests_; }
+  std::uint64_t wakes_deduped() const { return wakes_deduped_; }
+  std::uint64_t heap_pushes() const { return wake_requests_ - wakes_deduped_; }
 
   /// Register a staged object for commit at the end of the current cycle.
   /// Idempotent per cycle only if the caller guards; cheap either way.
@@ -119,6 +132,8 @@ class Scheduler {
   bool stop_requested_ = false;
   std::uint64_t seq_ = 0;
   std::uint64_t active_cycles_ = 0;
+  std::uint64_t wake_requests_ = 0;
+  std::uint64_t wakes_deduped_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
   std::vector<Committable*> commit_list_;
   std::vector<Committable*> commit_batch_;

@@ -3,17 +3,21 @@
 /// trace replay — everything behind the one registry the sweeps, the
 /// benches and the CLI share.
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "apps/alltoall.h"
 #include "apps/jacobi.h"
 #include "apps/reduction.h"
 #include "core/system.h"
 #include "noc/traffic.h"
+#include "noc/xy_network.h"
 #include "workload/replay.h"
 #include "workload/workload.h"
+#include "workload/xform/transform.h"
 
 namespace medea::workload {
 namespace {
@@ -128,40 +132,101 @@ class SyntheticWorkload final : public Workload {
         return "synthetic NoC traffic: (x,y)->(y,x) permutation";
       case noc::TrafficPattern::kNeighbor:
         return "synthetic NoC traffic: nearest-neighbour ring";
+      case noc::TrafficPattern::kBitReversal:
+        return "synthetic NoC traffic: node i -> bit-reverse(i) (FFT "
+               "butterfly permutation)";
     }
     return "synthetic NoC traffic";
   }
   bool noc_only() const override { return true; }
 
+  TraceNetConfig net_config(const WorkloadParams& p) const override {
+    if (p.network == "xy") {
+      return TraceNetConfig::from(p.xy_router, p.xy_torus_wrap);
+    }
+    return TraceNetConfig::from(p.config.router);
+  }
+
   WorkloadResult run(const WorkloadParams& p,
                      noc::FlitObserver* observer) const override {
-    sim::Scheduler sched;
-    noc::Network net(
-        sched,
-        noc::TorusGeometry(p.config.noc_width, p.config.noc_height),
-        p.config.router, p.seed);
-    if (observer != nullptr) net.set_observer(observer);
-
     noc::TrafficConfig tc;
     tc.pattern = pattern_;
     tc.injection_rate = p.injection_rate;
     tc.flits_per_node = p.flits_per_node;
     tc.hotspot_node = p.hotspot_node;
     tc.seed = p.seed;
-    const int received = noc::run_traffic(sched, net, tc);
 
+    // Synthetic patterns drive either fabric (p.network); stat keys and
+    // the latency accumulator just carry the fabric's prefix.
+    sim::Scheduler sched;
+    const noc::TorusGeometry geom(p.config.noc_width, p.config.noc_height);
+    int received = 0;
     WorkloadResult r;
+    if (p.network == "xy") {
+      noc::XyNetwork net(sched, geom, p.xy_router, p.xy_torus_wrap);
+      if (observer != nullptr) net.set_observer(observer);
+      received = noc::run_traffic(sched, net, tc);
+      r.metric = net.stats().acc("xynoc.latency").mean();
+      r.stats = net.stats();
+      r.flits_delivered = r.stats.get("xynoc.flits_delivered");
+    } else if (p.network == "deflection") {
+      noc::Network net(sched, geom, p.config.router, p.seed);
+      if (observer != nullptr) net.set_observer(observer);
+      received = noc::run_traffic(sched, net, tc);
+      r.metric = net.stats().acc("noc.latency").mean();
+      r.stats = net.stats();
+      r.flits_delivered = r.stats.get("noc.flits_delivered");
+    } else {
+      throw std::invalid_argument(
+          "synthetic workload: unknown network '" + p.network +
+          "' (expected \"deflection\" or \"xy\")");
+    }
     r.cycles = sched.now();
-    r.metric = net.stats().acc("noc.latency").mean();
     r.metric_name = "avg_flit_latency";
-    r.stats = net.stats();
-    r.flits_delivered = r.stats.get("noc.flits_delivered");
     r.verified_ok = static_cast<std::uint64_t>(received) == r.flits_delivered;
     return r;
   }
 
  private:
   noc::TrafficPattern pattern_;
+};
+
+// ---------------------------------------------------------------------
+// All-to-all exchange (full system)
+// ---------------------------------------------------------------------
+
+class AlltoallWorkload final : public Workload {
+ public:
+  std::string name() const override { return "alltoall"; }
+  std::string description() const override {
+    return "personalized all-to-all exchange over eMPI (ring schedule; "
+           "every core sends a distinct chunk to every other core)";
+  }
+
+  WorkloadResult run(const WorkloadParams& p,
+                     noc::FlitObserver* observer) const override {
+    core::MedeaConfig cfg = p.config;
+    cfg.workload = name();
+    cfg.seed = p.seed;
+    core::MedeaSystem sys(cfg);
+    if (observer != nullptr) sys.network().set_observer(observer);
+
+    apps::AlltoallParams ap;
+    ap.words_per_pair = p.size > 0 ? p.size : 8;
+    ap.repeats = p.iterations;
+    const apps::AlltoallResult res = apps::run_alltoall(sys, ap);
+
+    WorkloadResult r;
+    r.cycles = res.total_cycles;
+    r.metric = res.cycles_per_round;
+    r.metric_name = "cycles_per_round";
+    r.stats = sys.aggregate_stats();
+    r.flits_delivered = r.stats.get("noc.flits_delivered");
+    // Receivers verify every word against the (src,dst,i) reference on
+    // every run; p.verify only decides whether the result gates on it.
+    r.verified_ok = !p.verify || res.verified_ok;
+    return r;
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -173,7 +238,7 @@ class ReplayWorkload final : public Workload {
   std::string name() const override { return "replay"; }
   std::string description() const override {
     return "re-inject a recorded flit trace into a bare NoC (fast-forward "
-           "mode; requires trace_path)";
+           "mode; requires trace_path, honors trace_scale)";
   }
   bool noc_only() const override { return true; }
 
@@ -184,26 +249,48 @@ class ReplayWorkload final : public Workload {
     return {meta.width, meta.height};
   }
 
+  /// Re-recording a replay keeps the original header's fabric.
+  TraceNetConfig net_config(const WorkloadParams& p) const override {
+    return load_trace_meta(require_path(p)).net;
+  }
+
   WorkloadResult run(const WorkloadParams& p,
                      noc::FlitObserver* observer) const override {
-    const std::shared_ptr<const Trace> trace_ptr = load_cached(require_path(p));
+    const std::shared_ptr<const Trace> trace_ptr =
+        load_cached(require_path(p), p.trace_scale);
     const Trace& trace = *trace_ptr;
 
     sim::Scheduler sched;
     // Seed the NoC from the trace header, not the replay params: with
     // random_tie_break routers the recorded deflection choices depend on
     // the recorded seed, and bit-identical replay depends on matching it.
-    noc::Network net(sched,
-                     noc::TorusGeometry(trace.meta.width, trace.meta.height),
-                     p.config.router, trace.meta.seed);
-    if (observer != nullptr) net.set_observer(observer);
-    const ReplayResult res = run_replay(sched, net, trace);
-
+    const noc::TorusGeometry geom(trace.meta.width, trace.meta.height);
+    ReplayResult res;
     WorkloadResult r;
+    if (trace.meta.version >= 2 &&
+        trace.meta.net.kind == TraceNetKind::kBufferedXy) {
+      // The header says which fabric recorded the trace; rebuild exactly
+      // that one (the params' deflection RouterConfig does not apply).
+      noc::XyNetwork net(sched, geom, trace.meta.net.xy_router_config(),
+                         trace.meta.net.torus_wrap);
+      if (observer != nullptr) net.set_observer(observer);
+      res = run_replay(sched, net, trace, kReplayLimit,
+                       p.force_replay_config);
+      r.stats = net.stats();
+    } else {
+      // Deflection replay runs on the params' RouterConfig; for v2
+      // traces the replayer refuses a config that differs from the
+      // recording unless p.force_replay_config makes it explicit.
+      noc::Network net(sched, geom, p.config.router, trace.meta.seed);
+      if (observer != nullptr) net.set_observer(observer);
+      res = run_replay(sched, net, trace, kReplayLimit,
+                       p.force_replay_config);
+      r.stats = net.stats();
+    }
+
     r.cycles = res.cycles;
     r.metric = static_cast<double>(res.last_delivery_cycle);
     r.metric_name = "last_delivery_cycle";
-    r.stats = net.stats();
     r.flits_delivered = res.flits_delivered;
     // Every recorded flit must come out of the network again.
     r.verified_ok = res.flits_delivered == trace.events.size();
@@ -211,6 +298,8 @@ class ReplayWorkload final : public Workload {
   }
 
  private:
+  static constexpr sim::Cycle kReplayLimit = 50'000'000;
+
   static const std::string& require_path(const WorkloadParams& p) {
     if (p.trace_path.empty()) {
       throw std::invalid_argument(
@@ -220,23 +309,36 @@ class ReplayWorkload final : public Workload {
   }
 
   /// Traces are immutable once recorded, and a DSE sweep replays the
-  /// same file at every design point from many threads — cache the last
-  /// parsed trace by path instead of re-reading and re-decoding it.
-  std::shared_ptr<const Trace> load_cached(const std::string& path) const {
+  /// same file — at the same handful of rate scales — at every design
+  /// point from many threads.  Cache parsed (and scaled) traces by
+  /// (path, scale) so a 168-cell sweep decodes the file once and runs
+  /// each RateScale pass once, not once per cell.
+  std::shared_ptr<const Trace> load_cached(const std::string& path,
+                                           double scale) const {
+    const CacheKey key{path, scale};
     {
       const std::lock_guard<std::mutex> lock(cache_mutex_);
-      if (cached_ != nullptr && cached_path_ == path) return cached_;
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
     }
-    auto fresh = std::make_shared<const Trace>(load_trace(path));
+    std::shared_ptr<const Trace> fresh;
+    if (scale == 1.0) {
+      fresh = std::make_shared<const Trace>(load_trace(path));
+    } else {
+      const auto base = load_cached(path, 1.0);
+      fresh = std::make_shared<const Trace>(
+          xform::RateScale(scale).apply(*base));
+    }
     const std::lock_guard<std::mutex> lock(cache_mutex_);
-    cached_path_ = path;
-    cached_ = fresh;
-    return fresh;
+    // A sweep touches a few (path, scale) combos; a pathological caller
+    // cycling through many files should not accumulate them forever.
+    if (cache_.size() >= 16) cache_.clear();
+    return cache_.emplace(key, std::move(fresh)).first->second;
   }
 
+  using CacheKey = std::pair<std::string, double>;
   mutable std::mutex cache_mutex_;
-  mutable std::string cached_path_;
-  mutable std::shared_ptr<const Trace> cached_;
+  mutable std::map<CacheKey, std::shared_ptr<const Trace>> cache_;
 };
 
 }  // namespace
@@ -261,9 +363,11 @@ void register_builtins(WorkloadRegistry& reg) {
   reg.add(std::make_unique<ReductionWorkload>(
       "reduction-sm", apps::ReductionVariant::kSharedMemory,
       "parallel dot product, lock-protected shared accumulator"));
+  reg.add(std::make_unique<AlltoallWorkload>());
   for (noc::TrafficPattern pat :
        {noc::TrafficPattern::kUniformRandom, noc::TrafficPattern::kHotspot,
-        noc::TrafficPattern::kTranspose, noc::TrafficPattern::kNeighbor}) {
+        noc::TrafficPattern::kTranspose, noc::TrafficPattern::kNeighbor,
+        noc::TrafficPattern::kBitReversal}) {
     reg.add(std::make_unique<SyntheticWorkload>(pat));
   }
   reg.add(std::make_unique<ReplayWorkload>());

@@ -1,100 +1,50 @@
 #include "workload/replay.h"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 namespace medea::workload {
+namespace detail {
 
-TraceReplayer::Sink::Sink(sim::Scheduler& sched, noc::Network& net, int node,
-                          TraceReplayer& owner)
-    : sim::Component(sched, "replay.sink" + std::to_string(node)),
-      q_(net.eject(node)),
-      owner_(owner) {
-  q_.set_consumer(this);
+namespace {
+
+[[noreturn]] void throw_config_mismatch(const TraceMeta& meta,
+                                        const TraceNetConfig& offered) {
+  throw std::runtime_error(
+      "trace replay: network configuration does not match the recording\n"
+      "  recorded: " + meta.net.describe() + "\n"
+      "  offered:  " + offered.describe() + "\n"
+      "the replayed timing would silently diverge from the recording; "
+      "pass allow_config_mismatch (CLI: --force) to replay anyway");
 }
 
-void TraceReplayer::Sink::tick(sim::Cycle now) {
-  while (!q_.empty()) {
-    q_.pop();
-    ++count_;
-    // Delivery into the eject queue happened one cycle before the sink
-    // sees it (FIFO commit latency).
-    owner_.last_delivery_ = std::max(owner_.last_delivery_, now - 1);
+}  // namespace
+
+void throw_geometry_mismatch(const TraceMeta& meta) {
+  throw std::runtime_error(
+      "trace replay: network geometry does not match the trace (" +
+      std::to_string(meta.width) + "x" + std::to_string(meta.height) +
+      " recorded); use the remap transform to retarget the trace");
+}
+
+void check_replay_net(const TraceMeta& meta, const noc::Network& net,
+                      bool allow_mismatch) {
+  if (meta.version < 2 || allow_mismatch) return;
+  const TraceNetConfig offered = TraceNetConfig::from(net.config());
+  if (meta.net.kind != TraceNetKind::kDeflection || meta.net != offered) {
+    throw_config_mismatch(meta, offered);
   }
 }
 
-TraceReplayer::TraceReplayer(sim::Scheduler& sched, noc::Network& net,
-                             const Trace& trace)
-    : sim::Component(sched, "replay.injector"),
-      net_(net),
-      coord_bits_(trace.meta.coord_bits),
-      events_(trace.events) {
-  if (net.geometry().width() != trace.meta.width ||
-      net.geometry().height() != trace.meta.height) {
-    throw std::runtime_error(
-        "TraceReplayer: network geometry does not match the trace (" +
-        std::to_string(trace.meta.width) + "x" +
-        std::to_string(trace.meta.height) + " recorded)");
-  }
-  sinks_.reserve(static_cast<std::size_t>(net.num_nodes()));
-  for (int n = 0; n < net.num_nodes(); ++n) {
-    sinks_.push_back(std::make_unique<Sink>(sched, net, n, *this));
-  }
-  if (!events_.empty()) {
-    // Flits are pushed into the inject FIFO one cycle before their
-    // recorded injection cycle.  A trace cannot legally contain events
-    // before cycle 2 (a push at cycle >= 1 commits at >= 2), but shift
-    // defensively instead of failing on hand-crafted traces.
-    const sim::Cycle c0 = events_.front().cycle;
-    shift_ = c0 >= 2 ? 0 : 2 - c0;
-    std::uint32_t max_uid = 0;
-    for (const TraceEvent& e : events_) max_uid = std::max(max_uid, e.uid);
-    net_.reserve_flit_uids(max_uid + 1);
-    sched.wake_at(*this, c0 + shift_ - 1);
+void check_replay_net(const TraceMeta& meta, const noc::XyNetwork& net,
+                      bool allow_mismatch) {
+  if (meta.version < 2 || allow_mismatch) return;
+  const TraceNetConfig offered =
+      TraceNetConfig::from(net.config(), net.torus_wrap());
+  if (meta.net.kind != TraceNetKind::kBufferedXy || meta.net != offered) {
+    throw_config_mismatch(meta, offered);
   }
 }
 
-std::uint64_t TraceReplayer::delivered() const {
-  std::uint64_t total = 0;
-  for (const auto& s : sinks_) total += s->count();
-  return total;
-}
-
-void TraceReplayer::tick(sim::Cycle now) {
-  while (next_ < events_.size()) {
-    const TraceEvent& e = events_[next_];
-    const sim::Cycle push_at = e.cycle + shift_ - 1;
-    if (push_at > now) {
-      scheduler().wake_at(*this, push_at);
-      return;
-    }
-    auto& q = net_.inject(static_cast<int>(e.src));
-    if (!q.can_push()) {
-      // Should not happen when replaying onto the recorded geometry (the
-      // recorded run injected on schedule, so the queue drains on
-      // schedule); retry deterministically rather than dropping.
-      wake();
-      return;
-    }
-    noc::Flit f = noc::decode_flit(e.payload, coord_bits_);
-    f.uid = e.uid;
-    q.push(f);
-    ++injected_;
-    ++next_;
-  }
-}
-
-ReplayResult run_replay(sim::Scheduler& sched, noc::Network& net,
-                        const Trace& trace, sim::Cycle limit) {
-  TraceReplayer rep(sched, net, trace);
-  sched.run_or_throw(limit);
-  ReplayResult r;
-  r.cycles = sched.now();
-  r.flits_injected = rep.injected();
-  r.flits_delivered = rep.delivered();
-  r.last_delivery_cycle = rep.last_delivery_cycle();
-  return r;
-}
-
+}  // namespace detail
 }  // namespace medea::workload

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "noc/network.h"
+#include "noc/xy_network.h"
 #include "sim/scheduler.h"
 #include "workload/trace.h"
 
@@ -13,11 +16,21 @@
 /// The replayer is the fast-forward mode of the workload engine: it
 /// drives the cycle-accurate network with the exact injection schedule a
 /// full-system run produced, without instantiating PEs, caches, the MPMMU
-/// or any coroutine program.  Because the deflection router is a pure
-/// deterministic function of its inputs (and recorded uids preserve the
-/// oldest-first tie-breaks), a replay reproduces the recorded network
-/// behaviour bit-identically, at a fraction of the full simulation cost —
-/// which is what makes replay-driven NoC/DSE studies cheap.
+/// or any coroutine program.  Because both router models are pure
+/// deterministic functions of their inputs (and recorded uids preserve
+/// the deflection router's oldest-first tie-breaks), a replay reproduces
+/// the recorded network behaviour bit-identically, at a fraction of the
+/// full simulation cost — which is what makes replay-driven NoC/DSE
+/// studies cheap.  The replayer is a template over the fabric type so
+/// the deflection NoC (noc::Network) and the buffered-XY baseline
+/// (noc::XyNetwork) both replay through the same machinery.
+///
+/// v2 traces carry the recording fabric's configuration; constructing a
+/// replayer over a network whose kind or RouterConfig differs throws
+/// unless `allow_config_mismatch` is set — replaying onto a different
+/// NoC configuration is a legitimate what-if study, but it must be
+/// explicit, never an accident (the delivered timing will differ from
+/// the recording).  v1 traces recorded no config and skip the check.
 ///
 /// Mechanics: each recorded event (cycle T, src) is pushed into node
 /// src's inject FIFO at cycle T-1 so it becomes visible — and, because
@@ -33,34 +46,119 @@ struct ReplayResult {
   sim::Cycle last_delivery_cycle = 0;
 };
 
-class TraceReplayer final : public sim::Component {
+namespace detail {
+/// Throw unless the recording fabric in `meta` matches the replay
+/// network (kind + configuration).  No-op for v1 metas and when
+/// `allow_mismatch` is set.
+void check_replay_net(const TraceMeta& meta, const noc::Network& net,
+                      bool allow_mismatch);
+void check_replay_net(const TraceMeta& meta, const noc::XyNetwork& net,
+                      bool allow_mismatch);
+void throw_geometry_mismatch(const TraceMeta& meta);
+}  // namespace detail
+
+/// Replay driver over fabric N (noc::Network or noc::XyNetwork:
+/// anything with geometry()/inject()/eject()/reserve_flit_uids()).
+template <typename N>
+class BasicTraceReplayer final : public sim::Component {
  public:
   /// Copies the trace's events; the Trace itself need not outlive the
-  /// replayer.  The network geometry must match trace.meta.
-  TraceReplayer(sim::Scheduler& sched, noc::Network& net, const Trace& trace);
+  /// replayer.  The network geometry must match trace.meta (always), and
+  /// its configuration must match the recorded fabric for v2 traces
+  /// (unless allow_config_mismatch).
+  BasicTraceReplayer(sim::Scheduler& sched, N& net, const Trace& trace,
+                     bool allow_config_mismatch = false)
+      : sim::Component(sched, "replay.injector"),
+        net_(net),
+        coord_bits_(trace.meta.coord_bits),
+        events_(trace.events) {
+    if (net.geometry().width() != trace.meta.width ||
+        net.geometry().height() != trace.meta.height) {
+      detail::throw_geometry_mismatch(trace.meta);
+    }
+    detail::check_replay_net(trace.meta, net, allow_config_mismatch);
+    sinks_.reserve(static_cast<std::size_t>(net.num_nodes()));
+    for (int n = 0; n < net.num_nodes(); ++n) {
+      sinks_.push_back(std::make_unique<Sink>(sched, net, n, *this));
+    }
+    if (!events_.empty()) {
+      // Flits are pushed into the inject FIFO one cycle before their
+      // recorded injection cycle.  A trace cannot legally contain events
+      // before cycle 2 (a push at cycle >= 1 commits at >= 2), but shift
+      // defensively instead of failing on hand-crafted traces.
+      const sim::Cycle c0 = events_.front().cycle;
+      shift_ = c0 >= 2 ? 0 : 2 - c0;
+      std::uint32_t max_uid = 0;
+      for (const TraceEvent& e : events_) max_uid = std::max(max_uid, e.uid);
+      net_.reserve_flit_uids(max_uid + 1);
+      sched.wake_at(*this, c0 + shift_ - 1);
+    }
+  }
 
-  void tick(sim::Cycle now) override;
+  void tick(sim::Cycle now) override {
+    while (next_ < events_.size()) {
+      const TraceEvent& e = events_[next_];
+      const sim::Cycle push_at = e.cycle + shift_ - 1;
+      if (push_at > now) {
+        scheduler().wake_at(*this, push_at);
+        return;
+      }
+      auto& q = net_.inject(static_cast<int>(e.src));
+      if (!q.can_push()) {
+        // Should not happen when replaying onto the recorded fabric (the
+        // recorded run injected on schedule, so the queue drains on
+        // schedule), but transformed traces (rate-compressed, merged)
+        // can legitimately oversubscribe a queue; retry deterministically
+        // rather than dropping.
+        wake();
+        return;
+      }
+      noc::Flit f = noc::decode_flit(e.payload, coord_bits_);
+      f.uid = e.uid;
+      q.push(f);
+      ++injected_;
+      ++next_;
+    }
+  }
 
   std::uint64_t injected() const { return injected_; }
-  std::uint64_t delivered() const;
+  std::uint64_t delivered() const {
+    std::uint64_t total = 0;
+    for (const auto& s : sinks_) total += s->count();
+    return total;
+  }
   sim::Cycle last_delivery_cycle() const { return last_delivery_; }
 
  private:
   /// Drains one node's eject queue (stand-in for the PE/MPMMU consumer).
   class Sink final : public sim::Component {
    public:
-    Sink(sim::Scheduler& sched, noc::Network& net, int node,
-         TraceReplayer& owner);
-    void tick(sim::Cycle now) override;
+    Sink(sim::Scheduler& sched, N& net, int node, BasicTraceReplayer& owner)
+        : sim::Component(sched, "replay.sink" + std::to_string(node)),
+          q_(net.eject(node)),
+          owner_(owner) {
+      q_.set_consumer(this);
+    }
+
+    void tick(sim::Cycle now) override {
+      while (!q_.empty()) {
+        q_.pop();
+        ++count_;
+        // Delivery into the eject queue happened one cycle before the
+        // sink sees it (FIFO commit latency).
+        owner_.last_delivery_ = std::max(owner_.last_delivery_, now - 1);
+      }
+    }
+
     std::uint64_t count() const { return count_; }
 
    private:
     sim::Fifo<noc::Flit>& q_;
-    TraceReplayer& owner_;
+    BasicTraceReplayer& owner_;
     std::uint64_t count_ = 0;
   };
 
-  noc::Network& net_;
+  N& net_;
   int coord_bits_;
   std::vector<TraceEvent> events_;
   std::size_t next_ = 0;
@@ -70,9 +168,24 @@ class TraceReplayer final : public sim::Component {
   std::vector<std::unique_ptr<Sink>> sinks_;
 };
 
+using TraceReplayer = BasicTraceReplayer<noc::Network>;
+using XyTraceReplayer = BasicTraceReplayer<noc::XyNetwork>;
+
 /// Convenience: replay `trace` on `net`, running `sched` to completion.
-/// Throws if the geometry mismatches or the cycle limit is hit.
-ReplayResult run_replay(sim::Scheduler& sched, noc::Network& net,
-                        const Trace& trace, sim::Cycle limit = 50'000'000);
+/// Throws if the geometry or (v2) fabric config mismatches, or the
+/// cycle limit is hit.
+template <typename N>
+ReplayResult run_replay(sim::Scheduler& sched, N& net, const Trace& trace,
+                        sim::Cycle limit = 50'000'000,
+                        bool allow_config_mismatch = false) {
+  BasicTraceReplayer<N> rep(sched, net, trace, allow_config_mismatch);
+  sched.run_or_throw(limit);
+  ReplayResult r;
+  r.cycles = sched.now();
+  r.flits_injected = rep.injected();
+  r.flits_delivered = rep.delivered();
+  r.last_delivery_cycle = rep.last_delivery_cycle();
+  return r;
+}
 
 }  // namespace medea::workload

@@ -15,6 +15,12 @@ namespace {
 
 constexpr char kMagic[4] = {'M', 'D', 'T', 'R'};
 
+// v2 fabric-flags bits; anything above kFlagsKnownMask is from a future
+// writer we cannot interpret safely.
+constexpr std::uint64_t kFlagRandomTieBreak = 1u << 0;
+constexpr std::uint64_t kFlagTorusWrap = 1u << 1;
+constexpr std::uint64_t kFlagsKnownMask = kFlagRandomTieBreak | kFlagTorusWrap;
+
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   while (v >= 0x80) {
     out.push_back(static_cast<std::uint8_t>(v) | 0x80);
@@ -56,6 +62,90 @@ struct Reader {
 
 }  // namespace
 
+const char* to_string(TraceNetKind k) {
+  switch (k) {
+    case TraceNetKind::kDeflection: return "deflection";
+    case TraceNetKind::kBufferedXy: return "buffered-xy";
+  }
+  return "?";
+}
+
+TraceNetConfig TraceNetConfig::from(const noc::RouterConfig& rc) {
+  TraceNetConfig n;
+  n.kind = TraceNetKind::kDeflection;
+  n.eject_per_cycle = rc.eject_per_cycle;
+  n.inject_queue_depth = rc.inject_queue_depth;
+  n.eject_queue_depth = rc.eject_queue_depth;
+  n.random_tie_break = rc.random_tie_break;
+  return n;
+}
+
+TraceNetConfig TraceNetConfig::from(const noc::XyRouterConfig& rc,
+                                    bool torus_wrap) {
+  TraceNetConfig n;
+  n.kind = TraceNetKind::kBufferedXy;
+  n.eject_per_cycle = rc.eject_per_cycle;
+  n.inject_queue_depth = rc.inject_queue_depth;
+  n.eject_queue_depth = rc.eject_queue_depth;
+  n.input_buffer_depth = rc.input_buffer_depth;
+  n.torus_wrap = torus_wrap;
+  return n;
+}
+
+noc::RouterConfig TraceNetConfig::router_config() const {
+  noc::RouterConfig rc;
+  rc.eject_per_cycle = eject_per_cycle;
+  rc.inject_queue_depth = inject_queue_depth;
+  rc.eject_queue_depth = eject_queue_depth;
+  rc.random_tie_break = random_tie_break;
+  return rc;
+}
+
+noc::XyRouterConfig TraceNetConfig::xy_router_config() const {
+  noc::XyRouterConfig rc;
+  rc.input_buffer_depth = input_buffer_depth;
+  rc.eject_per_cycle = eject_per_cycle;
+  rc.inject_queue_depth = inject_queue_depth;
+  rc.eject_queue_depth = eject_queue_depth;
+  return rc;
+}
+
+std::string TraceNetConfig::describe() const {
+  std::string s = to_string(kind);
+  s += " eject/cyc=";
+  s += std::to_string(eject_per_cycle);
+  s += " injq=";
+  s += std::to_string(inject_queue_depth);
+  s += " ejq=";
+  s += std::to_string(eject_queue_depth);
+  if (kind == TraceNetKind::kBufferedXy) {
+    s += " bufdepth=";
+    s += std::to_string(input_buffer_depth);
+    s += torus_wrap ? " torus" : " mesh";
+  } else if (random_tie_break) {
+    s += " random-ties";
+  }
+  return s;
+}
+
+std::string to_string(const TraceEvent& e) {
+  std::string s = "cycle=";
+  s += std::to_string(e.cycle);
+  s += " src=";
+  s += std::to_string(e.src);
+  s += " dst=";
+  s += std::to_string(e.dst);
+  s += " size=";
+  s += std::to_string(e.size);
+  s += " uid=";
+  s += std::to_string(e.uid);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " payload=0x%llx",
+                static_cast<unsigned long long>(e.payload));
+  s += buf;
+  return s;
+}
+
 int coord_bits_for(int width, int height) {
   const int m = std::max(width, height) - 1;
   const int bits = std::bit_width(static_cast<unsigned>(m > 0 ? m : 0));
@@ -64,11 +154,20 @@ int coord_bits_for(int width, int height) {
 
 std::vector<std::uint8_t> serialize_trace(const Trace& t) {
   std::vector<std::uint8_t> out;
-  out.reserve(16 + t.meta.workload.size() + t.events.size() * 8);
+  out.reserve(32 + t.meta.workload.size() + t.events.size() * 8);
   // Byte-wise append: gcc-12 -O3 misfires stringop-overflow on
   // vector::insert from a constexpr char[4].
   for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
-  out.push_back(kTraceVersion);
+  // Write the version the meta carries: a v1-parsed trace stays v1 on
+  // re-save.  Its fabric config was never recorded, and upgrading would
+  // stamp fabricated defaults that replay would then *enforce* — the
+  // exact accident the v2 config check exists to prevent.  Only a fresh
+  // recording (TraceRecorder stamps kTraceVersion) produces v2.
+  if (t.meta.version < kTraceVersionV1 || t.meta.version > kTraceVersion) {
+    throw std::runtime_error("trace: cannot serialize unknown version " +
+                             std::to_string(t.meta.version));
+  }
+  out.push_back(t.meta.version);
   put_varint(out, static_cast<std::uint64_t>(t.meta.width));
   put_varint(out, static_cast<std::uint64_t>(t.meta.height));
   put_varint(out, static_cast<std::uint64_t>(t.meta.coord_bits));
@@ -76,6 +175,17 @@ std::vector<std::uint8_t> serialize_trace(const Trace& t) {
   put_varint(out, t.meta.total_cycles);
   put_varint(out, t.meta.workload.size());
   out.insert(out.end(), t.meta.workload.begin(), t.meta.workload.end());
+  if (t.meta.version >= 2) {
+    const TraceNetConfig& n = t.meta.net;
+    put_varint(out, static_cast<std::uint64_t>(n.kind));
+    put_varint(out, static_cast<std::uint64_t>(n.eject_per_cycle));
+    put_varint(out, static_cast<std::uint64_t>(n.inject_queue_depth));
+    put_varint(out, static_cast<std::uint64_t>(n.eject_queue_depth));
+    put_varint(out, static_cast<std::uint64_t>(n.input_buffer_depth));
+    put_varint(out, (n.random_tie_break ? kFlagRandomTieBreak : 0) |
+                        (n.torus_wrap ? kFlagTorusWrap : 0));
+    put_varint(out, 0);  // extension length (reserved)
+  }
   put_varint(out, t.events.size());
   sim::Cycle prev = 0;
   for (const TraceEvent& e : t.events) {
@@ -95,19 +205,22 @@ std::vector<std::uint8_t> serialize_trace(const Trace& t) {
 
 namespace {
 
-/// Parse and validate the header (magic, version, meta fields), leaving
-/// the reader positioned at the event count.
+/// Parse and validate the header (magic, version, meta fields, the v2
+/// fabric block), leaving the reader positioned at the event count.
 TraceMeta parse_meta(Reader& r) {
   if (r.size < 5 || std::memcmp(r.data, kMagic, 4) != 0) {
     throw std::runtime_error("trace: bad magic (not a MEDEA trace)");
   }
   r.pos = 4;
   const std::uint8_t version = r.data[r.pos++];
-  if (version != kTraceVersion) {
-    throw std::runtime_error("trace: unsupported version " +
-                             std::to_string(version));
+  if (version < kTraceVersionV1 || version > kTraceVersion) {
+    throw std::runtime_error(
+        "trace: unsupported version " + std::to_string(version) +
+        " (this build reads versions " + std::to_string(kTraceVersionV1) +
+        ".." + std::to_string(kTraceVersion) + ")");
   }
   TraceMeta m;
+  m.version = version;
   m.width = r.varint_as<int>("width");
   m.height = r.varint_as<int>("height");
   m.coord_bits = r.varint_as<int>("coord_bits");
@@ -126,6 +239,35 @@ TraceMeta parse_meta(Reader& r) {
   }
   m.workload.assign(reinterpret_cast<const char*>(r.data + r.pos), name_len);
   r.pos += name_len;
+  if (version >= 2) {
+    const std::uint64_t kind = r.varint();
+    if (kind > static_cast<std::uint64_t>(TraceNetKind::kBufferedXy)) {
+      throw std::runtime_error("trace: unknown network kind " +
+                               std::to_string(kind));
+    }
+    m.net.kind = static_cast<TraceNetKind>(kind);
+    m.net.eject_per_cycle = r.varint_as<int>("eject_per_cycle");
+    m.net.inject_queue_depth = r.varint_as<int>("inject_queue_depth");
+    m.net.eject_queue_depth = r.varint_as<int>("eject_queue_depth");
+    m.net.input_buffer_depth = r.varint_as<int>("input_buffer_depth");
+    if (m.net.eject_per_cycle < 1 || m.net.inject_queue_depth < 1 ||
+        m.net.eject_queue_depth < 1 || m.net.input_buffer_depth < 1) {
+      throw std::runtime_error("trace: invalid fabric config (queue depth "
+                               "or bandwidth below 1)");
+    }
+    const std::uint64_t flags = r.varint();
+    if ((flags & ~kFlagsKnownMask) != 0) {
+      throw std::runtime_error("trace: unknown fabric flags 0x" +
+                               std::to_string(flags));
+    }
+    m.net.random_tie_break = (flags & kFlagRandomTieBreak) != 0;
+    m.net.torus_wrap = (flags & kFlagTorusWrap) != 0;
+    const std::uint64_t ext_len = r.varint();
+    if (ext_len > r.size - r.pos) {
+      throw std::runtime_error("trace: truncated header extension");
+    }
+    r.pos += ext_len;  // reserved for forward-compatible additions
+  }
   return m;
 }
 
@@ -214,6 +356,59 @@ TraceMeta load_trace_meta(const std::string& path) {
   return parse_meta(r);
 }
 
+void validate_trace(const Trace& t) {
+  const TraceMeta& m = t.meta;
+  if (m.width < 1 || m.height < 1) {
+    throw std::runtime_error("trace validation: invalid geometry");
+  }
+  const int num_nodes = m.width * m.height;
+  if (m.coord_bits < coord_bits_for(m.width, m.height) || m.coord_bits > 8) {
+    throw std::runtime_error("trace validation: coord_bits too narrow for "
+                             "the geometry");
+  }
+  if (m.net.eject_per_cycle < 1 || m.net.inject_queue_depth < 1 ||
+      m.net.eject_queue_depth < 1 || m.net.input_buffer_depth < 1) {
+    throw std::runtime_error("trace validation: invalid fabric config");
+  }
+  sim::Cycle prev = 0;
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    const TraceEvent& e = t.events[i];
+    const std::string at = " (event " + std::to_string(i) + ": " +
+                           to_string(e) + ")";
+    if (e.cycle < prev) {
+      throw std::runtime_error("trace validation: events not sorted" + at);
+    }
+    prev = e.cycle;
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      throw std::runtime_error("trace validation: node id outside the torus" +
+                               at);
+    }
+    if (e.size < 1 || e.size > noc::kMaxPacketFlits) {
+      throw std::runtime_error("trace validation: packet size out of range" +
+                               at);
+    }
+    // The wire word must agree with the event's endpoints: its dst
+    // coordinate re-linearizes to e.dst, and (for fabrics small enough
+    // for the 8-bit SRCID field) its src id matches e.src.
+    const noc::Flit f = noc::decode_flit(e.payload, m.coord_bits);
+    if (f.dst.x >= m.width || f.dst.y >= m.height ||
+        f.dst.y * m.width + f.dst.x != e.dst) {
+      throw std::runtime_error(
+          "trace validation: payload dst disagrees with event dst" + at);
+    }
+    if (f.src_id != static_cast<std::uint8_t>(e.src & 0xFF)) {
+      throw std::runtime_error(
+          "trace validation: payload src id disagrees with event src" + at);
+    }
+  }
+  // On-disk round-trip: what we would write must parse back losslessly.
+  const auto bytes = serialize_trace(t);
+  if (parse_trace(bytes.data(), bytes.size()) != t) {
+    throw std::runtime_error(
+        "trace validation: serialize/parse round-trip is not lossless");
+  }
+}
+
 TraceRecorder::TraceRecorder(int width, int height)
     : width_(width),
       height_(height),
@@ -239,6 +434,7 @@ Trace TraceRecorder::take(sim::Cycle total_cycles, std::string workload,
   t.meta.seed = seed;
   t.meta.total_cycles = total_cycles;
   t.meta.workload = std::move(workload);
+  t.meta.net = net_;
   t.events = std::move(events_);
   events_.clear();
   return t;

@@ -6,6 +6,7 @@
 
 #include "noc/flit.h"
 #include "noc/router.h"
+#include "noc/xy_router.h"
 #include "sim/types.h"
 
 /// \file trace.h
@@ -22,12 +23,20 @@
 /// coroutines — which is the fast-forward mode the DSE sweeps use
 /// (trace-driven replay in the Graphite tradition).
 ///
-/// On-disk format (version 1), little-endian:
+/// On-disk format, little-endian:
 ///
 ///   "MDTR"  magic (4 bytes)
-///   u8      version
+///   u8      version (1 or 2)
 ///   varint  width, height, coord_bits, seed, total_cycles
 ///   varint  workload-name length, then that many bytes
+///   --- version >= 2 only: the recording fabric, self-described ---
+///   varint  network kind (0 = deflection, 1 = buffered XY)
+///   varint  eject_per_cycle, inject_queue_depth, eject_queue_depth,
+///           input_buffer_depth
+///   varint  flags (bit0 = random_tie_break, bit1 = torus_wrap)
+///   varint  extension length, then that many bytes (reserved; readers
+///           skip them, so future minor additions need no version bump)
+///   --- events ---
 ///   varint  event count
 ///   per event, all varint:
 ///     cycle delta (vs previous event; first is absolute),
@@ -35,12 +44,57 @@
 ///
 /// All integers are LEB128 varints, which makes typical traces ~6-10
 /// bytes per event instead of the 24+ of a naive fixed layout.  parse()
-/// validates magic, version, geometry and bounds and throws
-/// std::runtime_error on anything malformed or truncated.
+/// validates magic, version, geometry, fabric config and bounds and
+/// throws std::runtime_error on anything malformed or truncated.
+///
+/// Version 1 traces (no fabric block) still parse: the meta comes back
+/// with `version == 1` and a default-constructed net config, and replay
+/// skips the config check for them (nothing was recorded to check).
+/// serialize_trace() writes the version the meta carries — a v1 trace
+/// stays v1 on re-save (its fabric was never recorded; stamping
+/// defaults would fabricate a config that replay would then enforce).
+/// Fresh recordings are always v2.
 
 namespace medea::workload {
 
-inline constexpr std::uint8_t kTraceVersion = 1;
+inline constexpr std::uint8_t kTraceVersion = 2;
+inline constexpr std::uint8_t kTraceVersionV1 = 1;
+
+/// Which router model recorded the trace (and which one replay must
+/// rebuild to reproduce it).
+enum class TraceNetKind : std::uint8_t {
+  kDeflection = 0,  ///< the MEDEA hot-potato router (noc::Network)
+  kBufferedXy = 1,  ///< the buffered XY baseline (noc::XyNetwork)
+};
+
+const char* to_string(TraceNetKind k);
+
+/// The recording fabric's configuration, persisted in the v2 header so a
+/// trace is self-describing: replay can rebuild the exact NoC, and
+/// replaying onto a *different* configuration becomes an explicit,
+/// opt-in act instead of a silent accident.
+struct TraceNetConfig {
+  TraceNetKind kind = TraceNetKind::kDeflection;
+  int eject_per_cycle = 1;
+  int inject_queue_depth = 2;
+  int eject_queue_depth = 4;
+  int input_buffer_depth = 4;     ///< buffered-XY only
+  bool random_tie_break = false;  ///< deflection only
+  bool torus_wrap = false;        ///< buffered-XY only
+
+  bool operator==(const TraceNetConfig&) const = default;
+
+  static TraceNetConfig from(const noc::RouterConfig& rc);
+  static TraceNetConfig from(const noc::XyRouterConfig& rc, bool torus_wrap);
+
+  /// Project back onto the per-model config structs (fields the other
+  /// model owns keep this struct's values and are simply unused).
+  noc::RouterConfig router_config() const;
+  noc::XyRouterConfig xy_router_config() const;
+
+  /// One-line human rendering for error messages and `inspect`.
+  std::string describe() const;
+};
 
 /// One network-injection event (one flit entering the fabric).
 struct TraceEvent {
@@ -54,6 +108,8 @@ struct TraceEvent {
   bool operator==(const TraceEvent&) const = default;
 };
 
+std::string to_string(const TraceEvent& e);
+
 /// Trace header: where the trace came from and how to rebuild the NoC.
 struct TraceMeta {
   int width = 0;
@@ -62,6 +118,11 @@ struct TraceMeta {
   std::uint64_t seed = 0;            ///< seed of the recorded run
   sim::Cycle total_cycles = 0;       ///< cycle count of the recorded run
   std::string workload;              ///< registry name of the recorded workload
+  /// Format version this meta was parsed from (kTraceVersion for traces
+  /// built in memory).  v1 metas carry a default `net` with no recorded
+  /// meaning; consumers must gate config checks on `version >= 2`.
+  std::uint8_t version = kTraceVersion;
+  TraceNetConfig net{};              ///< the recording fabric (v2+)
 
   bool operator==(const TraceMeta&) const = default;
 };
@@ -89,8 +150,16 @@ Trace load_trace(const std::string& path);
 /// for a trace before (or without) paying the full parse.
 TraceMeta load_trace_meta(const std::string& path);
 
+/// Full semantic validation beyond what parse_trace() enforces
+/// structurally: cycle ordering, node bounds, packet sizes, payload
+/// consistency (the wire word must decode back to the event's src/dst)
+/// and a serialize/parse round-trip.  Every trace-transform output must
+/// pass this; throws std::runtime_error with a specific message.
+void validate_trace(const Trace& t);
+
 /// Captures injection events from a live NoC (attach with
-/// Network::set_observer before the run, take() afterwards).
+/// Network::set_observer or XyNetwork::set_observer before the run,
+/// take() afterwards).
 class TraceRecorder final : public noc::FlitObserver {
  public:
   TraceRecorder(int width, int height);
@@ -99,6 +168,10 @@ class TraceRecorder final : public noc::FlitObserver {
   void on_deliver(sim::Cycle, int, const noc::Flit&) override {}
 
   const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Describe the fabric being recorded; stamped into the v2 header by
+  /// take().  Defaults to a default-configured deflection NoC.
+  void set_net_config(const TraceNetConfig& net) { net_ = net; }
 
   /// Finalize: move the captured events into a Trace with a filled-in
   /// header.  The recorder is empty afterwards and can keep recording.
@@ -109,6 +182,7 @@ class TraceRecorder final : public noc::FlitObserver {
   int width_;
   int height_;
   int coord_bits_;
+  TraceNetConfig net_{};
   std::vector<TraceEvent> events_;
 };
 

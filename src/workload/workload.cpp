@@ -67,12 +67,16 @@ WorkloadResult run_configured(const WorkloadParams& p,
   return run_by_name(p.config.workload, p, observer);
 }
 
-Trace record_workload(const std::string& name, const WorkloadParams& p) {
+Trace record_workload(const std::string& name, const WorkloadParams& p,
+                      WorkloadResult* result) {
   const Workload& w = WorkloadRegistry::instance().at(name);
   const auto [width, height] = w.noc_dims(p);
   TraceRecorder rec(width, height);
-  const WorkloadResult res = w.run(p, &rec);
-  return rec.take(res.cycles, name, p.seed);
+  rec.set_net_config(w.net_config(p));
+  WorkloadResult res = w.run(p, &rec);
+  Trace t = rec.take(res.cycles, name, p.seed);
+  if (result != nullptr) *result = std::move(res);
+  return t;
 }
 
 }  // namespace medea::workload

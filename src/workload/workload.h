@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "noc/xy_router.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 #include "workload/trace.h"
@@ -49,6 +50,23 @@ struct WorkloadParams {
   std::uint64_t seed = 1;
   bool verify = false;          ///< check against the host reference
   std::string trace_path;       ///< input trace (replay workload only)
+
+  /// Fabric the NoC-only synthetic patterns run on: "deflection" (the
+  /// paper's router) or "xy" (the buffered XY baseline).  With "xy" the
+  /// run uses `xy_router`/`xy_torus_wrap` below and can be recorded and
+  /// replayed just like a deflection run.  Full-system apps ignore this.
+  std::string network = "deflection";
+  noc::XyRouterConfig xy_router{};
+  bool xy_torus_wrap = false;
+
+  /// Replay-only: injection-rate scale applied to the trace before
+  /// replaying (1.0 = verbatim; see xform::RateScale).
+  double trace_scale = 1.0;
+  /// Replay-only: replay a v2 trace even when `config.router` does not
+  /// match the recorded fabric (the CLI --force flag).  Without it a
+  /// mismatch fails loudly — replaying onto a different NoC
+  /// configuration must be explicit, never an accident.
+  bool force_replay_config = false;
 };
 
 struct WorkloadResult {
@@ -82,6 +100,14 @@ class Workload {
   /// and truncate coordinates).
   virtual std::pair<int, int> noc_dims(const WorkloadParams& p) const {
     return {p.config.noc_width, p.config.noc_height};
+  }
+
+  /// The fabric a run(p, ...) will actually build, for the v2 trace
+  /// header.  Defaults to the config's deflection router; workloads that
+  /// build something else (the XY baseline, replay from a header)
+  /// override it so recordings stay self-describing.
+  virtual TraceNetConfig net_config(const WorkloadParams& p) const {
+    return TraceNetConfig::from(p.config.router);
   }
 
   /// Run the workload.  When `observer` is non-null it is attached as
@@ -127,8 +153,11 @@ WorkloadResult run_by_name(const std::string& name, const WorkloadParams& p,
 WorkloadResult run_configured(const WorkloadParams& p,
                               noc::FlitObserver* observer = nullptr);
 
-/// Record workload `name` into a trace (runs it once with a recorder on
-/// the NoC; the trace header captures geometry, seed and cycle count).
-Trace record_workload(const std::string& name, const WorkloadParams& p);
+/// Record workload `name` into a trace: run it once with a recorder on
+/// the NoC, sized and described via the workload's noc_dims()/
+/// net_config().  The header captures geometry, fabric config, seed and
+/// cycle count.  `result` (optional) receives the run's WorkloadResult.
+Trace record_workload(const std::string& name, const WorkloadParams& p,
+                      WorkloadResult* result = nullptr);
 
 }  // namespace medea::workload

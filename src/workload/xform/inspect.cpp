@@ -1,0 +1,189 @@
+#include "workload/xform/inspect.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace medea::workload::xform {
+
+TraceInspection inspect_trace(const Trace& t, int time_buckets) {
+  if (time_buckets < 1) time_buckets = 1;
+  TraceInspection r;
+  r.num_events = t.events.size();
+  r.num_nodes = t.meta.width * t.meta.height;
+  const std::size_t n = static_cast<std::size_t>(r.num_nodes);
+  r.injections_per_source.assign(n, 0);
+  r.rate_per_source.assign(n, 0.0);
+  r.traffic_matrix.assign(n * n, 0);
+  r.size_histogram.assign(static_cast<std::size_t>(noc::kMaxPacketFlits) + 1,
+                          0);
+  r.time_histogram.assign(static_cast<std::size_t>(time_buckets), 0);
+  if (t.events.empty()) return r;
+
+  r.first_cycle = t.events.front().cycle;
+  r.last_cycle = t.events.back().cycle;
+  const sim::Cycle span = r.last_cycle - r.first_cycle + 1;
+  r.bucket_width = (span + static_cast<sim::Cycle>(time_buckets) - 1) /
+                   static_cast<sim::Cycle>(time_buckets);
+  if (r.bucket_width == 0) r.bucket_width = 1;
+
+  for (const TraceEvent& e : t.events) {
+    r.injections_per_source[e.src]++;
+    r.traffic_matrix[e.src * n + e.dst]++;
+    if (e.size < r.size_histogram.size()) r.size_histogram[e.size]++;
+    const std::size_t bucket = static_cast<std::size_t>(
+        (e.cycle - r.first_cycle) / r.bucket_width);
+    r.time_histogram[std::min(bucket,
+                              r.time_histogram.size() - 1)]++;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    r.rate_per_source[s] =
+        static_cast<double>(r.injections_per_source[s]) /
+        static_cast<double>(span);
+  }
+  r.mean_rate = static_cast<double>(r.num_events) /
+                (static_cast<double>(span) * static_cast<double>(r.num_nodes));
+  r.max_matrix_count =
+      *std::max_element(r.traffic_matrix.begin(), r.traffic_matrix.end());
+  return r;
+}
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Intensity ramp for the heatmap (log-ish perception: blank for zero).
+char shade(std::uint64_t v, std::uint64_t max) {
+  static const char ramp[] = ".:-=+*#%@";
+  if (v == 0) return ' ';
+  if (max <= 1) return ramp[8];
+  const std::size_t idx =
+      static_cast<std::size_t>(static_cast<double>(v) /
+                               static_cast<double>(max) * 8.0);
+  return ramp[std::min<std::size_t>(idx, 8)];
+}
+
+}  // namespace
+
+std::string format_inspection(const Trace& t, const TraceInspection& insp) {
+  std::string out;
+  const TraceMeta& m = t.meta;
+  appendf(out, "trace: %s\n", m.workload.c_str());
+  appendf(out, "  format     MDTR v%d\n", m.version);
+  appendf(out, "  fabric     %dx%d torus, %s\n", m.width, m.height,
+          m.net.describe().c_str());
+  appendf(out, "  seed       %llu\n",
+          static_cast<unsigned long long>(m.seed));
+  appendf(out, "  recorded   %llu cycles, %zu injection events\n",
+          static_cast<unsigned long long>(m.total_cycles), insp.num_events);
+  if (insp.num_events == 0) return out;
+  appendf(out, "  active     cycles %llu..%llu\n",
+          static_cast<unsigned long long>(insp.first_cycle),
+          static_cast<unsigned long long>(insp.last_cycle));
+  appendf(out, "  mean rate  %.4f flits/node/cycle\n", insp.mean_rate);
+
+  out += "  packet sizes: ";
+  bool first = true;
+  for (std::size_t s = 1; s < insp.size_histogram.size(); ++s) {
+    if (insp.size_histogram[s] == 0) continue;
+    if (!first) out += ", ";
+    appendf(out, "%zu flits x %llu", s,
+            static_cast<unsigned long long>(insp.size_histogram[s]));
+    first = false;
+  }
+  out += "\n\n";
+
+  out += "per-source injection rate (flits/cycle):\n";
+  for (int y = 0; y < m.height; ++y) {
+    out += "  ";
+    for (int x = 0; x < m.width; ++x) {
+      appendf(out, " %6.4f", insp.rate_per_source[static_cast<std::size_t>(
+                                 y * m.width + x)]);
+    }
+    out += "\n";
+  }
+
+  out += "\nsrc->dst heatmap (rows = src, cols = dst, max=";
+  appendf(out, "%llu flits):\n",
+          static_cast<unsigned long long>(insp.max_matrix_count));
+  const std::size_t n = static_cast<std::size_t>(insp.num_nodes);
+  for (std::size_t s = 0; s < n; ++s) {
+    appendf(out, "  %3zu |", s);
+    for (std::size_t d = 0; d < n; ++d) {
+      out += shade(insp.traffic_matrix[s * n + d], insp.max_matrix_count);
+    }
+    out += "|\n";
+  }
+
+  out += "\ninjections over time (";
+  appendf(out, "%llu cycles/bucket):\n  |",
+          static_cast<unsigned long long>(insp.bucket_width));
+  const std::uint64_t tmax = *std::max_element(insp.time_histogram.begin(),
+                                               insp.time_histogram.end());
+  for (std::uint64_t b : insp.time_histogram) out += shade(b, tmax);
+  out += "|\n";
+  return out;
+}
+
+TraceDiffResult diff_traces(const Trace& a, const Trace& b) {
+  TraceDiffResult r;
+  r.a_events = a.events.size();
+  r.b_events = b.events.size();
+
+  // Meta, field by field, so the report names the culprit.
+  std::string meta_diff;
+  const TraceMeta& ma = a.meta;
+  const TraceMeta& mb = b.meta;
+  auto field = [&meta_diff](const char* name, const std::string& va,
+                            const std::string& vb) {
+    if (va == vb || !meta_diff.empty()) return;
+    meta_diff = std::string("meta.") + name + ": " + va + " vs " + vb;
+  };
+  field("width", std::to_string(ma.width), std::to_string(mb.width));
+  field("height", std::to_string(ma.height), std::to_string(mb.height));
+  field("coord_bits", std::to_string(ma.coord_bits),
+        std::to_string(mb.coord_bits));
+  field("seed", std::to_string(ma.seed), std::to_string(mb.seed));
+  field("total_cycles", std::to_string(ma.total_cycles),
+        std::to_string(mb.total_cycles));
+  field("workload", ma.workload, mb.workload);
+  field("version", std::to_string(ma.version), std::to_string(mb.version));
+  field("net", ma.net.describe(), mb.net.describe());
+  r.meta_equal = meta_diff.empty();
+
+  const std::size_t common = std::min(r.a_events, r.b_events);
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.events[i] != b.events[i]) {
+      r.diverge_index = i;
+      r.first_difference = "event " + std::to_string(i) + ":\n  a: " +
+                           to_string(a.events[i]) + "\n  b: " +
+                           to_string(b.events[i]);
+      return r;
+    }
+  }
+  if (r.a_events != r.b_events) {
+    r.first_difference =
+        "event count: " + std::to_string(r.a_events) + " vs " +
+        std::to_string(r.b_events) + " (streams agree up to event " +
+        std::to_string(common) + ")";
+    return r;
+  }
+  if (!r.meta_equal) {
+    r.first_difference = meta_diff;
+    return r;
+  }
+  r.identical = true;
+  return r;
+}
+
+}  // namespace medea::workload::xform

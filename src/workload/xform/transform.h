@@ -1,0 +1,139 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/trace.h"
+
+/// \file transform.h
+/// The trace toolkit's transform pipeline: composable passes that turn
+/// one recorded MDTR trace into another valid one.
+///
+/// PR 2's record/replay engine reproduces a recording bit-identically —
+/// and nothing else.  Trace-driven simulators get their scenario
+/// diversity from *manipulating* traces (booksim's netrace workflows,
+/// Graphite's trace capture modes): rescale the injection schedule for a
+/// rate sweep, remap a small recording onto a bigger fabric, merge two
+/// tenants onto one NoC, cut a steady-state window out of a long run.
+/// Each pass here consumes a Trace and produces a new Trace that passes
+/// validate_trace() — so any pipeline output can be saved, inspected,
+/// diffed and replayed like a first-class recording.  Transformed
+/// traces replay *cleanly* (every flit delivered), but only an untouched
+/// trace replays bit-identically to its recording; transforms annotate
+/// meta.workload with their provenance so inspect shows what happened.
+///
+/// All passes are pure functions of their input (no hidden state), so
+/// they compose freely via Pipeline and are safe to share across sweep
+/// worker threads.
+
+namespace medea::workload::xform {
+
+/// One trace-to-trace pass.
+class TraceTransform {
+ public:
+  virtual ~TraceTransform() = default;
+
+  /// Human-readable pass description, e.g. "scale(2x)"; also appended to
+  /// the output's meta.workload provenance annotation.
+  virtual std::string describe() const = 0;
+
+  /// Produce the transformed trace; throws std::invalid_argument or
+  /// std::runtime_error when the input cannot legally be transformed
+  /// (e.g. remap target smaller than the recording).
+  virtual Trace apply(const Trace& in) const = 0;
+};
+
+/// Injection-rate scaling: factor > 1 compresses the injection schedule
+/// (cycles divided by factor => higher offered rate), factor < 1
+/// stretches it.  Event order, uids and payloads are untouched, so the
+/// scaled trace exercises the same spatial pattern at a different load —
+/// the fast-forward axis of a rate sweep over one recording.
+class RateScale final : public TraceTransform {
+ public:
+  explicit RateScale(double factor);
+
+  std::string describe() const override;
+  Trace apply(const Trace& in) const override;
+
+ private:
+  double factor_;
+};
+
+enum class RemapMode : std::uint8_t {
+  /// Coordinate-preserving embedding: node (x,y) of the recording maps
+  /// to node (x,y) of the (>=) target fabric.  Bijective onto its image,
+  /// so per-flit traffic is unchanged; only the torus wrap distances
+  /// (and thus routing) differ.
+  kBijective,
+  /// Tile the recording across the target: the target dims must be
+  /// integer multiples of the recording's, and every tile replays an
+  /// offset copy of the trace with re-spaced uids — an instant
+  /// multi-tenant scale-up of a small recording.
+  kTiled,
+};
+
+const char* to_string(RemapMode m);
+
+/// Retarget a trace onto a different torus geometry (see RemapMode).
+/// Re-encodes every payload word for the target's coordinate width and
+/// re-linearizes node ids; the result is a valid trace of the target
+/// fabric.  Targets are capped at 256 nodes (the 8-bit wire SRCID).
+class RemapNodes final : public TraceTransform {
+ public:
+  RemapNodes(int new_width, int new_height,
+             RemapMode mode = RemapMode::kBijective);
+
+  std::string describe() const override;
+  Trace apply(const Trace& in) const override;
+
+ private:
+  int new_width_;
+  int new_height_;
+  RemapMode mode_;
+};
+
+/// Keep only events with begin <= cycle < end, optionally rebasing the
+/// kept window to start near cycle 2 (so a mid-run excerpt replays
+/// immediately instead of idling through the cut prefix).
+class TimeWindow final : public TraceTransform {
+ public:
+  TimeWindow(sim::Cycle begin, sim::Cycle end, bool rebase = true);
+
+  std::string describe() const override;
+  Trace apply(const Trace& in) const override;
+
+ private:
+  sim::Cycle begin_;
+  sim::Cycle end_;
+  bool rebase_;
+};
+
+/// Ordered sequence of passes applied left to right.
+class Pipeline final : public TraceTransform {
+ public:
+  Pipeline() = default;
+
+  Pipeline& add(std::unique_ptr<TraceTransform> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+
+  bool empty() const { return passes_.empty(); }
+  std::size_t size() const { return passes_.size(); }
+
+  std::string describe() const override;
+  Trace apply(const Trace& in) const override;
+
+ private:
+  std::vector<std::unique_ptr<TraceTransform>> passes_;
+};
+
+/// Merge two recordings of the *same* fabric (geometry and net config
+/// must match) into one multi-tenant trace: events interleave by cycle
+/// (ties keep a's first), and b's uids are re-spaced above a's so the
+/// deflection router's age/uid tie-breaks stay collision-free.
+Trace merge_traces(const Trace& a, const Trace& b);
+
+}  // namespace medea::workload::xform

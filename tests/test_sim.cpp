@@ -54,6 +54,76 @@ TEST(Scheduler, DeduplicatesSameCycleWakes) {
   EXPECT_EQ(r.ticks.size(), 1u);
 }
 
+TEST(Scheduler, DedupsDuplicateWakesAtPushTime) {
+  // Duplicate (component, future-cycle) wakes never reach the heap:
+  // three requests for cycle 3 cost one push (hot-FIFO fan-in pressure).
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 3);
+  sched.wake_at(r, 3);
+  sched.wake_at(r, 3);
+  sched.wake_at(r, 7);  // a different cycle is a fresh push
+  EXPECT_EQ(sched.wake_requests(), 4u);
+  EXPECT_EQ(sched.wakes_deduped(), 2u);
+  EXPECT_EQ(sched.heap_pushes(), 2u);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{3, 7}));
+}
+
+TEST(Scheduler, PushDedupNeverLosesAWakeAcrossRuns) {
+  // Waking again between runs must still tick at the new cycle even
+  // though the heap saw pushes for this component before.  (Re-waking
+  // at the *already-ticked* current cycle is a no-op — that is the
+  // kernel's long-standing pop-side dedup, unchanged by the push-time
+  // stamp; a component ticks at most once per cycle, ever.)
+  Scheduler sched;
+  Recorder r(sched, "r");
+  sched.wake_at(r, 4);
+  sched.wake_at(r, 4);
+  EXPECT_TRUE(sched.run());
+  ASSERT_EQ(r.ticks.size(), 1u);
+  sched.wake_at(r, 4);  // now() and already ticked at 4: stays one tick
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{4}));
+  sched.wake_at(r, 9);
+  sched.wake_at(r, 9);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{4, 9}));
+}
+
+/// Pushes one value into each of three FIFOs during a single tick.
+class FanInPusher : public Component {
+ public:
+  FanInPusher(Scheduler& s, Fifo<int>& a, Fifo<int>& b, Fifo<int>& c)
+      : Component(s, "pusher"), a_(a), b_(b), c_(c) {}
+  void tick(Cycle) override {
+    a_.push(1);
+    b_.push(2);
+    c_.push(3);
+  }
+  Fifo<int>& a_;
+  Fifo<int>& b_;
+  Fifo<int>& c_;
+};
+
+TEST(Scheduler, FifoFanInWakesConsumerWithOneHeapPush) {
+  // N channels committing into one consumer in the same cycle is the
+  // hot-FIFO pattern the push-time dedup exists for: three commits used
+  // to mean three heap pushes (two discarded at pop); now two of the
+  // wake requests are absorbed before touching the heap.
+  Scheduler sched;
+  Recorder consumer(sched, "consumer");
+  Fifo<int> a(sched, "a", 4), b(sched, "b", 4), c(sched, "c", 4);
+  for (Fifo<int>* f : {&a, &b, &c}) f->set_consumer(&consumer);
+  FanInPusher pusher(sched, a, b, c);
+  sched.wake_at(pusher, 1);
+  const std::uint64_t deduped_before = sched.wakes_deduped();
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(sched.wakes_deduped() - deduped_before, 2u);
+  ASSERT_EQ(consumer.ticks.size(), 1u);
+  EXPECT_EQ(consumer.ticks[0], 2u);
+}
+
 TEST(Scheduler, MultipleWakesAtDifferentCycles) {
   Scheduler sched;
   Recorder r(sched, "r");

@@ -65,7 +65,8 @@ TEST(Registry, HasAllBuiltins) {
   const auto names = WorkloadRegistry::instance().names();
   for (const char* expected :
        {"jacobi", "jacobi-sync", "jacobi-sm", "reduction", "reduction-sm",
-        "uniform", "hotspot", "transpose", "neighbor", "replay"}) {
+        "alltoall", "uniform", "hotspot", "transpose", "neighbor", "bitrev",
+        "replay"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -83,7 +84,7 @@ TEST(Registry, UnknownNameHandling) {
 TEST(Registry, EveryBuiltinRunsByName) {
   for (const char* name :
        {"jacobi", "jacobi-sync", "jacobi-sm", "reduction", "reduction-sm",
-        "uniform", "hotspot", "transpose", "neighbor"}) {
+        "alltoall", "uniform", "hotspot", "transpose", "neighbor", "bitrev"}) {
     WorkloadParams p = tiny_params();
     p.verify = true;
     const WorkloadResult r = run_by_name(name, p);
@@ -102,7 +103,8 @@ TEST(Registry, RunConfiguredUsesConfigWorkloadName) {
 }
 
 TEST(Registry, SyntheticWorkloadsRunOnEightByEightTorus) {
-  for (const char* name : {"uniform", "hotspot", "transpose", "neighbor"}) {
+  for (const char* name :
+       {"uniform", "hotspot", "transpose", "neighbor", "bitrev"}) {
     WorkloadParams p = tiny_params();
     p.config.noc_width = 8;
     p.config.noc_height = 8;
@@ -124,6 +126,44 @@ TEST(Registry, JacobiRunsOnEightByEightTorus) {
   const WorkloadResult r = run_by_name("jacobi", p);
   EXPECT_GT(r.cycles, 0u);
   EXPECT_TRUE(r.verified_ok);
+}
+
+TEST(Registry, BitrevIsAPermutationOnPowerOfTwoFabrics) {
+  // On 16 nodes the 4-bit reversal is a bijection; palindromic ids
+  // (0, 6, 9, 15) map to themselves and those slots are dropped by the
+  // endpoint — verified_ok checks everything sent was received.
+  WorkloadParams p = tiny_params();
+  const WorkloadResult r = run_by_name("bitrev", p);
+  EXPECT_TRUE(r.verified_ok);
+  EXPECT_GT(r.flits_delivered, 0u);
+}
+
+TEST(Registry, AlltoallVerifiesEveryReceivedWord) {
+  WorkloadParams p = tiny_params();
+  p.config.num_compute_cores = 4;
+  p.size = 6;  // words per pair
+  p.iterations = 2;
+  p.verify = true;
+  const WorkloadResult r = run_by_name("alltoall", p);
+  EXPECT_TRUE(r.verified_ok);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.flits_delivered, 0u);
+  EXPECT_EQ(r.metric_name, "cycles_per_round");
+}
+
+TEST(Registry, SyntheticWorkloadsRunOnTheXyFabric) {
+  for (const char* name : {"uniform", "bitrev"}) {
+    WorkloadParams p = tiny_params();
+    p.network = "xy";
+    p.flits_per_node = 30;
+    const WorkloadResult r = run_by_name(name, p);
+    EXPECT_GT(r.cycles, 0u) << name;
+    EXPECT_GT(r.flits_delivered, 0u) << name;
+    EXPECT_TRUE(r.verified_ok) << name;
+  }
+  WorkloadParams p = tiny_params();
+  p.network = "nonsense";
+  EXPECT_THROW(run_by_name("uniform", p), std::invalid_argument);
 }
 
 TEST(Registry, SyntheticRunsAreDeterministic) {
@@ -151,6 +191,7 @@ void check_record_replay(const std::string& name,
   // observer (replicates record_workload(), plus delivery capture).
   // The observer must not perturb simulation results.
   TraceRecorder rec2(p.config.noc_width, p.config.noc_height);
+  rec2.set_net_config(TraceNetConfig::from(p.config.router));
   DeliveryLog orig;
   RecordAndLog both;
   both.rec = &rec2;
