@@ -14,6 +14,7 @@
 #include "core/medea.h"
 #include "dse/sweep.h"
 #include "harness.h"
+#include "sim/frame_pool.h"
 
 using namespace medea;
 
@@ -22,18 +23,33 @@ namespace {
 bench::Measurement design_point(const bench::RunOptions& opt, int cores,
                                 std::uint32_t kb) {
   double wall_per_point_ns = 0.0;
+  // Kernel pressure counters from the last timed invocation (the run is
+  // deterministic, so every invocation produces the same values).
+  std::uint64_t bucket_pushes = 0;
+  std::uint64_t overflow_pushes = 0;
+  std::uint64_t wakes_deduped = 0;
+  std::uint64_t frame_hits = 0;
+  std::uint64_t frame_misses = 0;
   auto m = bench::run_case(
       "jacobi_60x60/" + std::to_string(cores) + "c_" + std::to_string(kb) +
           "kB",
       "cores=" + std::to_string(cores) + " l1_kb=" + std::to_string(kb) +
           " policy=WB variant=hybrid_mp n=60",
       opt, [&] {
+        const sim::FramePool::Stats fp0 = sim::FramePool::tls().stats();
         core::MedeaSystem sys(
             dse::make_design_config(cores, kb, mem::WritePolicy::kWriteBack));
         apps::JacobiParams p;
         p.n = 60;
         p.variant = apps::JacobiVariant::kHybridMp;
         const auto res = apps::run_jacobi(sys, p);
+        const sim::Scheduler& sched = sys.scheduler();
+        bucket_pushes = sched.bucket_pushes();
+        overflow_pushes = sched.overflow_pushes();
+        wakes_deduped = sched.wakes_deduped();
+        const sim::FramePool::Stats fp1 = sim::FramePool::tls().stats();
+        frame_hits = fp1.hits - fp0.hits;
+        frame_misses = fp1.misses - fp0.misses;
         return res.total_cycles;
       });
   wall_per_point_ns = m.wall_ns;
@@ -42,6 +58,19 @@ bench::Measurement design_point(const bench::RunOptions& opt, int cores,
   if (wall_per_point_ns > 0.0) {
     m.metric("points_per_hour", 3600.0 / (wall_per_point_ns * 1e-9));
   }
+  // Two-tier event-queue split and coroutine frame-pool effectiveness:
+  // bucket pushes are the O(1) calendar fast path, overflow pushes hit
+  // the binary heap; frame-pool hits recycle a warm frame, misses are
+  // real heap allocations (a handful once the pool is warm).
+  m.metric("sched_bucket_pushes", static_cast<double>(bucket_pushes));
+  m.metric("sched_overflow_pushes", static_cast<double>(overflow_pushes));
+  m.metric("sched_wakes_deduped", static_cast<double>(wakes_deduped));
+  m.metric("frame_pool_hits", static_cast<double>(frame_hits));
+  m.metric("frame_pool_misses", static_cast<double>(frame_misses));
+  const double frame_total = static_cast<double>(frame_hits + frame_misses);
+  m.metric("frame_pool_hit_rate",
+           frame_total > 0.0 ? static_cast<double>(frame_hits) / frame_total
+                             : 0.0);
   return m;
 }
 

@@ -73,6 +73,8 @@ int main(int argc, char** argv) {
         scale == 1.0 ? trace : xform::RateScale(scale).apply(trace);
     std::uint64_t wake_requests = 0;
     std::uint64_t wakes_deduped = 0;
+    std::uint64_t bucket_pushes = 0;
+    std::uint64_t overflow_pushes = 0;
     auto m = bench::run_case(
         "replay/x" + std::string(scale == 1.0   ? "1"
                                  : scale == 0.5 ? "0.5"
@@ -85,16 +87,22 @@ int main(int argc, char** argv) {
                                               /*allow_config_mismatch=*/true);
           wake_requests = sched.wake_requests();
           wakes_deduped = sched.wakes_deduped();
+          bucket_pushes = sched.bucket_pushes();
+          overflow_pushes = sched.overflow_pushes();
           return r.cycles;
         });
-    // Event-heap pressure on a hot fabric: how many wakes the push-time
-    // dedup absorbed before they could reach the priority queue.
+    // Event-queue pressure on a hot fabric: how many wakes the push-time
+    // dedup absorbed before they could reach either queue tier, and how
+    // the survivors split between the O(1) calendar buckets and the
+    // overflow binary heap (far-future wakes only — near zero here).
     m.metric("heap_wake_requests", static_cast<double>(wake_requests));
     m.metric("heap_wakes_deduped", static_cast<double>(wakes_deduped));
     m.metric("heap_dedup_ratio",
              wake_requests > 0 ? static_cast<double>(wakes_deduped) /
                                      static_cast<double>(wake_requests)
                                : 0.0);
+    m.metric("sched_bucket_pushes", static_cast<double>(bucket_pushes));
+    m.metric("sched_overflow_pushes", static_cast<double>(overflow_pushes));
     report.add(std::move(m));
   }
 

@@ -3,9 +3,12 @@
 /// simulator (record with `run_workload --record`, replay with
 /// `run_workload replay --trace`).
 ///
-///   trace_tool inspect FILE [--buckets=N]
+///   trace_tool inspect FILE [--buckets=N] [--json]
 ///       Header, per-source injection rates, the src->dst heatmap and
-///       the injection-over-time profile.
+///       the injection-over-time profile.  --json emits the same
+///       inspection as one machine-readable JSON document (per-source
+///       rates, the src->dst matrix, both histograms) so notebooks
+///       consume the numbers directly instead of scraping the text.
 ///
 ///   trace_tool transform IN -o OUT [passes...]
 ///       Apply a pipeline of transform passes (in the order given):
@@ -51,7 +54,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: trace_tool inspect FILE [--buckets=N]\n"
+      "usage: trace_tool inspect FILE [--buckets=N] [--json]\n"
       "       trace_tool transform IN -o OUT [--scale=F] [--remap=WxH]\n"
       "         [--remap-tiled=WxH] [--window=B:E] [--window-raw=B:E]\n"
       "       trace_tool diff A B\n"
@@ -93,9 +96,12 @@ bool parse_range(const char* s, unsigned long long* b, unsigned long long* e) {
 int cmd_inspect(int argc, char** argv) {
   const char* path = nullptr;
   int buckets = 16;
+  bool json = false;
   for (int i = 0; i < argc; ++i) {
     if (const char* v = opt_value(argv[i], "--buckets")) {
       buckets = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (argv[i][0] != '-' && path == nullptr) {
       path = argv[i];
     } else {
@@ -105,7 +111,9 @@ int cmd_inspect(int argc, char** argv) {
   if (path == nullptr) return usage();
   const Trace t = workload::load_trace(path);
   const auto insp = xform::inspect_trace(t, buckets);
-  std::fputs(xform::format_inspection(t, insp).c_str(), stdout);
+  std::fputs(json ? xform::format_inspection_json(t, insp).c_str()
+                  : xform::format_inspection(t, insp).c_str(),
+             stdout);
   return 0;
 }
 

@@ -8,6 +8,7 @@
 #include "mpmmu/mpmmu.h"
 #include "noc/router.h"
 #include "pe/processing_element.h"
+#include "sim/types.h"
 
 /// \file config.h
 /// Top-level configuration of a MEDEA system instance.
@@ -39,6 +40,12 @@ struct MedeaConfig {
   // --- memory subsystem ---
   mpmmu::MpmmuConfig mpmmu{};
   mem::MemoryMapConfig memmap{};
+
+  // --- simulation kernel ---
+  /// Event-queue selection for the discrete-event kernel: the calendar
+  /// queue (default) or the legacy binary heap, kept selectable so
+  /// differential tests can assert the two produce identical runs.
+  sim::SchedulerConfig scheduler{};
 
   // --- workload selection ---
   /// Registry name of the scenario to run on this machine (consumed by

@@ -56,7 +56,7 @@ const MedeaConfig& validated(const MedeaConfig& cfg) {
 }  // namespace
 
 MedeaSystem::MedeaSystem(const MedeaConfig& cfg)
-    : cfg_(validated(cfg)), map_(make_map_config(cfg)) {
+    : cfg_(validated(cfg)), sched_(cfg.scheduler), map_(make_map_config(cfg)) {
   net_ = std::make_unique<noc::Network>(
       sched_, noc::TorusGeometry(cfg_.noc_width, cfg_.noc_height),
       cfg_.router, cfg_.seed);

@@ -1,6 +1,5 @@
 #include "dse/sweep.h"
 
-#include <atomic>
 #include <sstream>
 #include <thread>
 
@@ -100,22 +99,30 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
   }
   threads = std::min<int>(threads, static_cast<int>(jobs.size()));
 
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
+  // One task per worker thread over a striped point range (worker t
+  // simulates points t, t+threads, t+2*threads, ...), not one async per
+  // point: each thread amortises its startup across its whole batch and
+  // keeps reusing its thread-local coroutine FramePool, warm from the
+  // first design point it simulated.  Striping interleaves the
+  // cores-major job order across workers so the expensive many-core
+  // points spread evenly.  out[i] is indexed by job, so result order
+  // stays deterministic regardless of scheduling.
+  auto worker = [&](std::size_t first) {
+    for (std::size_t i = first; i < jobs.size();
+         i += static_cast<std::size_t>(threads)) {
       const Job& j = jobs[i];
       out[i] =
           run_design_point(spec, j.cores, j.cache_kb, j.policy, j.trace_scale);
     }
   };
   if (threads == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, static_cast<std::size_t>(t));
+    }
     for (auto& th : pool) th.join();
   }
   return out;

@@ -82,8 +82,11 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
                             std::uint32_t cache_kb, mem::WritePolicy policy,
                             double trace_scale = 1.0);
 
-/// Run the full cross product (optionally multi-threaded).  Result order
-/// is deterministic (cores-major, then cache, then policy).
+/// Run the full cross product (optionally multi-threaded).  Points are
+/// batched per worker thread (striped ranges, one task per thread) so a
+/// thread amortises its spawn cost and its warm coroutine frame pool
+/// across every design point it simulates.  Result order is
+/// deterministic (cores-major, then cache, then policy).
 std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
 
 /// Convert sweep results to design points for Pareto analysis.

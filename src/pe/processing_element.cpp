@@ -72,7 +72,11 @@ void ProcessingElement::write_scratch_or_fail(mem::Addr a, std::uint32_t v) {
 void ProcessingElement::set_program(sim::Task<> program) {
   assert(!program_armed_ && "one program per PE per run");
   program_ = std::move(program);
-  program_.set_on_done([this] { program_finished_ = true; });
+  program_.set_on_done(
+      [](void* self) {
+        static_cast<ProcessingElement*>(self)->program_finished_ = true;
+      },
+      this);
   program_armed_ = true;
   scheduler().wake_at(*this, scheduler().now() + 1);
 }

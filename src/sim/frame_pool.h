@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+/// \file frame_pool.h
+/// Size-bucketed free-list allocator for coroutine frames.
+///
+/// Every simulated "program step" in this model is a C++20 coroutine —
+/// the PE programs themselves plus every eMPI primitive they co_await —
+/// and by default each frame is a malloc/free round trip.  On the
+/// PE-dense configs (the paper's 15-core design points) that churn is a
+/// measurable slice of wall time, so sim::Task<> routes its promise
+/// allocation here instead: frames are rounded up to a 64-byte size
+/// class and recycled through per-class free lists.
+///
+/// The pool is thread-local (FramePool::tls()), which makes it lock-free
+/// and lets every dse::run_sweep worker thread keep its own warm pool
+/// across the design points it simulates.  Frames freed on a different
+/// thread than the one that allocated them simply migrate to the freeing
+/// thread's pool — all blocks are plain ::operator new storage, so
+/// ownership transfer is safe.  Frames larger than kMaxPooledBytes (rare:
+/// deeply-stacked locals) pass through to the global heap untouched.
+///
+/// Instrumented: hits/misses/recycles and retained bytes are cheap
+/// counters that the benches export, making the ROADMAP "coroutine
+/// allocation churn" item measurable PR over PR.
+
+namespace medea::sim {
+
+class FramePool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;      ///< allocations served from a free list
+    std::uint64_t misses = 0;    ///< allocations that went to ::operator new
+    std::uint64_t oversize = 0;  ///< frames > kMaxPooledBytes (passthrough)
+    std::uint64_t recycled = 0;  ///< frames returned to a free list
+    std::uint64_t bytes_retained = 0;  ///< free-list bytes currently held
+  };
+
+  static constexpr std::size_t kGranuleBytes = 64;
+  static constexpr std::size_t kMaxPooledBytes = 4096;
+
+  /// The calling thread's pool (created on first use, torn down — free
+  /// lists released to the heap — at thread exit).
+  static FramePool& tls() {
+    static thread_local FramePool pool;
+    return pool;
+  }
+
+  FramePool() = default;
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+  ~FramePool() { trim(); }
+
+  void* allocate(std::size_t n) {
+    const std::size_t rounded = round_up(n);
+    if (rounded > kMaxPooledBytes) {
+      ++stats_.oversize;
+      return ::operator new(n);
+    }
+    const std::size_t b = bucket_of(rounded);
+    if (FreeNode* node = free_[b]; node != nullptr) {
+      free_[b] = node->next;
+      ++stats_.hits;
+      stats_.bytes_retained -= rounded;
+      return node;
+    }
+    ++stats_.misses;
+    return ::operator new(rounded);
+  }
+
+  void deallocate(void* p, std::size_t n) noexcept {
+    const std::size_t rounded = round_up(n);
+    if (rounded > kMaxPooledBytes) {
+      ::operator delete(p);
+      return;
+    }
+    const std::size_t b = bucket_of(rounded);
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[b];
+    free_[b] = node;
+    ++stats_.recycled;
+    stats_.bytes_retained += rounded;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Release every free-listed block back to the heap (memory pressure
+  /// relief and leak-checker hygiene; outstanding frames are untouched).
+  void trim() noexcept {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      FreeNode* node = free_[b];
+      free_[b] = nullptr;
+      while (node != nullptr) {
+        FreeNode* next = node->next;
+        ::operator delete(node);
+        node = next;
+      }
+    }
+    stats_.bytes_retained = 0;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kNumBuckets = kMaxPooledBytes / kGranuleBytes;
+
+  static constexpr std::size_t round_up(std::size_t n) {
+    // n == 0 maps to the smallest class (a zero would underflow
+    // bucket_of); coroutine frames are never empty, but the API is
+    // public and must not index free_[SIZE_MAX].
+    if (n == 0) return kGranuleBytes;
+    return (n + kGranuleBytes - 1) & ~(kGranuleBytes - 1);
+  }
+  static constexpr std::size_t bucket_of(std::size_t rounded) {
+    return rounded / kGranuleBytes - 1;
+  }
+
+  std::array<FreeNode*, kNumBuckets> free_{};
+  Stats stats_;
+};
+
+}  // namespace medea::sim

@@ -2,8 +2,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -26,10 +26,38 @@
 ///  * A component may receive spurious ticks; tick() must be idempotent
 ///    when there is no work to do.
 ///  * wake() during a tick may only target strictly future cycles.
+///
+/// Event-queue structure (SchedulerConfig): almost every wake in this
+/// model targets `now+1` (FIFO commits, self-re-arming engines), so the
+/// default kernel is a hierarchical calendar queue — a power-of-two ring
+/// of per-cycle buckets, each an intrusive singly-linked list threaded
+/// through the components themselves, making the dominant wake an O(1)
+/// pointer bump with zero allocation.  Far-future wakes (DDR-scale
+/// delays, idle-period jumps) overflow into the old binary heap, which
+/// stays selectable as the whole kernel for differential testing.
+/// Dispatch order is bit-identical between the two kernels: within a
+/// cycle, components tick in wake-request (FIFO seq) order, and every
+/// overflow entry for a cycle predates every bucket entry for it.
 
 namespace medea::sim {
 
 class Scheduler;
+class Component;
+
+namespace detail {
+
+/// Intrusive calendar-bucket link.  Every Component embeds one node (the
+/// common case: at most one pending wake), and the scheduler keeps a
+/// recycled pool of spill nodes for components with several wakes in
+/// flight at once (e.g. a timed operation plus an engine self-wake).
+struct WakeNode {
+  Component* comp = nullptr;
+  WakeNode* next = nullptr;
+  bool pooled = false;  ///< false: embedded in its component
+  bool active = false;  ///< embedded node currently linked in a bucket
+};
+
+}  // namespace detail
 
 /// Base class for every clocked hardware model.
 class Component {
@@ -57,6 +85,7 @@ class Component {
   std::string name_;
   Cycle last_ticked_ = kNeverCycle;  // dedup guard for same-cycle wakes
   Cycle last_wake_cycle_ = 0;        // push-time dedup stamp (see wake_at)
+  detail::WakeNode hook_;            // intrusive calendar-bucket hook
 };
 
 /// Anything with staged state that must be made visible at end of cycle.
@@ -69,9 +98,12 @@ class Committable {
 /// The simulation kernel.
 class Scheduler {
  public:
-  Scheduler() = default;
+  explicit Scheduler(const SchedulerConfig& cfg = {});
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  const SchedulerConfig& config() const { return cfg_; }
 
   Cycle now() const { return now_; }
 
@@ -84,22 +116,28 @@ class Scheduler {
   /// Duplicate wakes for the same (component, future cycle) are deduped
   /// at push time via a per-component last-wake stamp, so a hot FIFO
   /// fan-in (N channels committing into one router in the same cycle)
-  /// costs one heap push instead of N.  A second dedup layer at pop time
+  /// costs one push instead of N.  A second dedup layer at pop time
   /// (Component::last_ticked_) covers the remaining `at == now` path.
   void wake_at(Component& c, Cycle at);
 
-  /// Heap-pressure counters: total wake_at() requests and how many were
-  /// absorbed by the push-time dedup (never reached the heap).
+  /// Pressure counters: total wake_at() requests and how many were
+  /// absorbed by the push-time dedup (never reached a queue).
   std::uint64_t wake_requests() const { return wake_requests_; }
   std::uint64_t wakes_deduped() const { return wakes_deduped_; }
   std::uint64_t heap_pushes() const { return wake_requests_ - wakes_deduped_; }
+
+  /// Where the surviving pushes landed: calendar-ring buckets (the O(1)
+  /// near-future fast path) vs the overflow binary heap.  In the legacy
+  /// kBinaryHeap kernel every push counts as an overflow push.
+  std::uint64_t bucket_pushes() const { return bucket_pushes_; }
+  std::uint64_t overflow_pushes() const { return overflow_pushes_; }
 
   /// Register a staged object for commit at the end of the current cycle.
   /// Idempotent per cycle only if the caller guards; cheap either way.
   void defer_commit(Committable& c) { commit_list_.push_back(&c); }
 
-  /// Run until the event heap empties or `limit` is passed.
-  /// Returns true if the system went idle (heap drained), false if the
+  /// Run until the event queues empty or `limit` is passed.
+  /// Returns true if the system went idle (queues drained), false if the
   /// cycle limit stopped the run (useful as a livelock/deadlock guard).
   bool run(Cycle limit = kNeverCycle);
 
@@ -110,7 +148,7 @@ class Scheduler {
   /// Abort the run loop at the end of the current cycle.
   void request_stop() { stop_requested_ = true; }
 
-  bool idle() const { return heap_.empty(); }
+  bool idle() const { return ring_count_ == 0 && heap_.empty(); }
 
   /// Optional trace sink; null disables tracing.
   void set_trace(std::ostream* os) { trace_ = os; }
@@ -127,6 +165,23 @@ class Scheduler {
     }
   };
 
+  /// Head/tail of one calendar bucket's intrusive FIFO list.
+  struct Bucket {
+    detail::WakeNode* head = nullptr;
+    detail::WakeNode* tail = nullptr;
+  };
+
+  void push_bucket(Component& c, Cycle at);
+  void push_heap(Component& c, Cycle at);
+  detail::WakeNode* acquire_node(Component& c);
+  void release_node(detail::WakeNode* n);
+  /// Earliest non-empty ring cycle in [now_, now_ + ring size), or
+  /// kNeverCycle.  A bitmap word scan, so idle gaps cost ~ring/64 tests.
+  Cycle next_ring_cycle() const;
+  void drain_bucket(Cycle t);
+
+  SchedulerConfig cfg_;
+  bool use_calendar_ = true;
   Cycle now_ = 0;
   bool dispatching_ = false;
   bool stop_requested_ = false;
@@ -134,7 +189,21 @@ class Scheduler {
   std::uint64_t active_cycles_ = 0;
   std::uint64_t wake_requests_ = 0;
   std::uint64_t wakes_deduped_ = 0;
+  std::uint64_t bucket_pushes_ = 0;
+  std::uint64_t overflow_pushes_ = 0;
+
+  // Calendar tier: ring of buckets indexed by (cycle & ring_mask_), an
+  // occupancy bitmap for next-event scans, and the spill-node pool.
+  std::size_t ring_mask_ = 0;
+  std::size_t ring_count_ = 0;  ///< nodes currently linked in buckets
+  std::vector<Bucket> ring_;
+  std::vector<std::uint64_t> ring_bitmap_;
+  std::vector<std::unique_ptr<detail::WakeNode[]>> node_blocks_;
+  detail::WakeNode* free_nodes_ = nullptr;
+
+  // Overflow tier (the whole kernel under kBinaryHeap).
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+
   std::vector<Committable*> commit_list_;
   std::vector<Committable*> commit_batch_;
   std::vector<Component*> dispatch_batch_;

@@ -3,8 +3,9 @@
 #include <cassert>
 #include <coroutine>
 #include <exception>
-#include <functional>
 #include <utility>
+
+#include "sim/frame_pool.h"
 
 /// \file task.h
 /// Minimal coroutine task type used to write "software" for simulated cores.
@@ -23,20 +24,41 @@
 ///  * co_await composition with symmetric transfer (eMPI primitives are
 ///    themselves coroutines used by application code),
 ///  * exception propagation to the awaiter / owner,
-///  * an on_done callback so the PE knows the program terminated.
+///  * an on_done owner hook so the PE knows the program terminated.
+///
+/// Hot-path notes: frames are allocated through the thread-local
+/// sim::FramePool (class-specific operator new/delete on the promise), so
+/// the per-step coroutine churn of the eMPI/Jacobi programs recycles a
+/// few warm size classes instead of hitting malloc; and the owner hook is
+/// a raw (function pointer, context) pair — unlike the std::function it
+/// replaced, arming it never allocates.
 
 namespace medea::sim {
 
 template <typename T>
 class Task;
 
+/// Owner-notification hook fired when a root task runs to completion.
+/// A capture-less lambda converts implicitly: pass the owner as `ctx`.
+using TaskDoneFn = void (*)(void* ctx);
+
 namespace detail {
 
 template <typename T>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;  // resumed at final_suspend
-  std::function<void()> on_done;         // owner notification (root tasks)
+  TaskDoneFn on_done = nullptr;          // owner notification (root tasks)
+  void* on_done_ctx = nullptr;
   std::exception_ptr error;
+
+  /// Coroutine frames recycle through the thread-local FramePool; the
+  /// sized delete guarantees the frame returns to its exact size class.
+  static void* operator new(std::size_t n) {
+    return FramePool::tls().allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::tls().deallocate(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -46,7 +68,7 @@ struct TaskPromiseBase {
     std::coroutine_handle<> await_suspend(
         std::coroutine_handle<Promise> h) noexcept {
       auto& p = h.promise();
-      if (p.on_done) p.on_done();
+      if (p.on_done != nullptr) p.on_done(p.on_done_ctx);
       return p.continuation ? p.continuation : std::noop_coroutine();
     }
     void await_resume() noexcept {}
@@ -93,10 +115,13 @@ class Task {
     h_.resume();
   }
 
-  /// Owner callback fired when the coroutine runs to completion.
-  void set_on_done(std::function<void()> f) {
+  /// Owner hook fired when the coroutine runs to completion.  `fn` is a
+  /// plain function pointer (capture-less lambdas convert); `ctx` is
+  /// handed back verbatim — typically the owning component.
+  void set_on_done(TaskDoneFn fn, void* ctx) {
     assert(h_);
-    h_.promise().on_done = std::move(f);
+    h_.promise().on_done = fn;
+    h_.promise().on_done_ctx = ctx;
   }
 
   void rethrow_if_error() const {
@@ -170,9 +195,10 @@ class Task<void> {
     h_.resume();
   }
 
-  void set_on_done(std::function<void()> f) {
+  void set_on_done(TaskDoneFn fn, void* ctx) {
     assert(h_);
-    h_.promise().on_done = std::move(f);
+    h_.promise().on_done = fn;
+    h_.promise().on_done_ctx = ctx;
   }
 
   void rethrow_if_error() const {

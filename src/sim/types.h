@@ -14,4 +14,28 @@ using Cycle = std::uint64_t;
 /// Sentinel for "no scheduled time".
 inline constexpr Cycle kNeverCycle = ~Cycle{0};
 
+/// Event-queue selection for the discrete-event kernel.
+///
+/// The calendar queue is the default: a power-of-two ring of per-cycle
+/// buckets absorbs every near-future wake (the overwhelming majority are
+/// `now+1`) as an O(1) pointer bump, with a binary heap kept only as an
+/// overflow tier for far-future events (DDR-refresh-scale delays).  The
+/// pure binary heap remains selectable so differential tests can run the
+/// same seed through both kernels and assert bit-identical behaviour.
+struct SchedulerConfig {
+  enum class EventQueue : std::uint8_t {
+    kCalendar,    ///< two-tier calendar queue + overflow heap (default)
+    kBinaryHeap,  ///< legacy single binary heap (reference kernel)
+  };
+
+  EventQueue queue = EventQueue::kCalendar;
+
+  /// log2 of the calendar ring size in cycles.  Wakes within
+  /// 2^ring_bits cycles of `now` land in a bucket; anything further out
+  /// goes to the overflow heap.  Clamped to [6, 20] by the Scheduler.
+  std::uint32_t ring_bits = 10;
+
+  bool operator==(const SchedulerConfig&) const = default;
+};
+
 }  // namespace medea::sim

@@ -158,7 +158,7 @@ class SyntheticWorkload final : public Workload {
 
     // Synthetic patterns drive either fabric (p.network); stat keys and
     // the latency accumulator just carry the fabric's prefix.
-    sim::Scheduler sched;
+    sim::Scheduler sched(p.config.scheduler);
     const noc::TorusGeometry geom(p.config.noc_width, p.config.noc_height);
     int received = 0;
     WorkloadResult r;
@@ -260,7 +260,7 @@ class ReplayWorkload final : public Workload {
         load_cached(require_path(p), p.trace_scale);
     const Trace& trace = *trace_ptr;
 
-    sim::Scheduler sched;
+    sim::Scheduler sched(p.config.scheduler);
     // Seed the NoC from the trace header, not the replay params: with
     // random_tie_break routers the recorded deflection choices depend on
     // the recorded seed, and bit-identical replay depends on matching it.

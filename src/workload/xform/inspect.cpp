@@ -135,6 +135,106 @@ std::string format_inspection(const Trace& t, const TraceInspection& insp) {
   return out;
 }
 
+namespace {
+
+/// Minimal JSON emission helpers (the schema is flat enough that a
+/// dependency-free emitter stays readable; strings that reach here are
+/// workload names and fabric descriptions, escaped defensively anyway).
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    appendf(out, "%llu", static_cast<unsigned long long>(v[i]));
+  }
+  out += ']';
+}
+
+void append_double_array(std::string& out, const std::vector<double>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    appendf(out, "%.17g", v[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string format_inspection_json(const Trace& t,
+                                   const TraceInspection& insp) {
+  const TraceMeta& m = t.meta;
+  std::string out = "{\n  \"schema_version\": 1,\n  \"trace\": {\n";
+  out += "    \"workload\": ";
+  append_json_string(out, m.workload);
+  appendf(out, ",\n    \"format_version\": %d,\n", m.version);
+  appendf(out, "    \"width\": %d,\n    \"height\": %d,\n", m.width, m.height);
+  appendf(out, "    \"coord_bits\": %d,\n", m.coord_bits);
+  appendf(out, "    \"seed\": %llu,\n",
+          static_cast<unsigned long long>(m.seed));
+  appendf(out, "    \"total_cycles\": %llu,\n",
+          static_cast<unsigned long long>(m.total_cycles));
+  out += "    \"net\": ";
+  append_json_string(out, m.net.describe());
+  out += "\n  },\n";
+
+  appendf(out, "  \"num_events\": %zu,\n", insp.num_events);
+  appendf(out, "  \"num_nodes\": %d,\n", insp.num_nodes);
+  appendf(out, "  \"first_cycle\": %llu,\n",
+          static_cast<unsigned long long>(insp.first_cycle));
+  appendf(out, "  \"last_cycle\": %llu,\n",
+          static_cast<unsigned long long>(insp.last_cycle));
+  appendf(out, "  \"mean_rate\": %.17g,\n", insp.mean_rate);
+
+  out += "  \"injections_per_source\": ";
+  append_u64_array(out, insp.injections_per_source);
+  out += ",\n  \"rate_per_source\": ";
+  append_double_array(out, insp.rate_per_source);
+
+  // Row-major src->dst matrix, emitted as one array per source row so
+  // consumers index it [src][dst] without reshaping.
+  out += ",\n  \"traffic_matrix\": [";
+  const std::size_t n = static_cast<std::size_t>(insp.num_nodes);
+  for (std::size_t s = 0; s < n; ++s) {
+    out += s == 0 ? "\n    " : ",\n    ";
+    append_u64_array(
+        out, {insp.traffic_matrix.begin() + static_cast<std::ptrdiff_t>(s * n),
+              insp.traffic_matrix.begin() +
+                  static_cast<std::ptrdiff_t>((s + 1) * n)});
+  }
+  out += "\n  ],\n";
+  appendf(out, "  \"max_matrix_count\": %llu,\n",
+          static_cast<unsigned long long>(insp.max_matrix_count));
+
+  // Index = packet size in flits (index 0 unused, matching the struct).
+  out += "  \"size_histogram\": ";
+  append_u64_array(out, insp.size_histogram);
+  out += ",\n  \"time_histogram\": ";
+  append_u64_array(out, insp.time_histogram);
+  appendf(out, ",\n  \"time_bucket_width\": %llu\n}\n",
+          static_cast<unsigned long long>(insp.bucket_width));
+  return out;
+}
+
 TraceDiffResult diff_traces(const Trace& a, const Trace& b) {
   TraceDiffResult r;
   r.a_events = a.events.size();

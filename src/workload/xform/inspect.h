@@ -52,6 +52,14 @@ TraceInspection inspect_trace(const Trace& t, int time_buckets = 16);
 /// src->dst heatmap and the injection-over-time sparkline.
 std::string format_inspection(const Trace& t, const TraceInspection& insp);
 
+/// Machine-readable rendering of the same inspection: one JSON document
+/// with the trace header, per-source counts/rates, the src->dst traffic
+/// matrix (row-major, rows = src) and both histograms — so notebooks and
+/// scripts consume the matrices directly instead of scraping the text
+/// rendering (`trace_tool inspect --json`).
+std::string format_inspection_json(const Trace& t,
+                                   const TraceInspection& insp);
+
 struct TraceDiffResult {
   bool identical = false;
   bool meta_equal = false;

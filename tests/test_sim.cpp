@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/fifo.h"
+#include "sim/frame_pool.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
@@ -183,6 +184,172 @@ TEST(Scheduler, SameCycleBatchDispatch) {
   ASSERT_EQ(a.ticks.size(), 1u);
   ASSERT_EQ(b.ticks.size(), 1u);
   EXPECT_EQ(sched.active_cycles(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Calendar queue (two-tier event structure)
+// ---------------------------------------------------------------------
+
+SchedulerConfig legacy_heap_cfg() {
+  SchedulerConfig cfg;
+  cfg.queue = SchedulerConfig::EventQueue::kBinaryHeap;
+  return cfg;
+}
+
+TEST(CalendarQueue, NearWakesLandInBucketsFarWakesOverflow) {
+  Scheduler sched;  // default: calendar, 1024-cycle ring
+  Recorder r(sched, "r");
+  sched.wake_at(r, 1);        // bucket
+  sched.wake_at(r, 1023);     // last cycle inside the ring
+  sched.wake_at(r, 1024);     // first cycle beyond it -> overflow heap
+  sched.wake_at(r, 5'000'000);
+  EXPECT_EQ(sched.bucket_pushes(), 2u);
+  EXPECT_EQ(sched.overflow_pushes(), 2u);
+  EXPECT_EQ(sched.heap_pushes(),
+            sched.bucket_pushes() + sched.overflow_pushes());
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{1, 1023, 1024, 5'000'000}));
+}
+
+TEST(CalendarQueue, LegacyHeapKernelStaysSelectable) {
+  Scheduler sched(legacy_heap_cfg());
+  Recorder r(sched, "r");
+  sched.wake_at(r, 3);
+  sched.wake_at(r, 900000);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{3, 900000}));
+  EXPECT_EQ(sched.bucket_pushes(), 0u);  // every push is an overflow push
+  EXPECT_EQ(sched.overflow_pushes(), 2u);
+}
+
+TEST(CalendarQueue, RingWrapsAcrossManyRevolutions) {
+  // A self-waker chaining 10000 consecutive cycles crosses the default
+  // 1024-cycle ring almost ten times.
+  Scheduler sched;
+  SelfWaker w(sched, 10000);
+  sched.wake_at(w, 0);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(w.count, 10000);
+  EXPECT_EQ(sched.now(), 9999u);
+}
+
+TEST(CalendarQueue, TinyRingStillCorrect) {
+  SchedulerConfig cfg;
+  cfg.ring_bits = 6;  // 64-cycle ring: every mid-range wake overflows
+  Scheduler sched(cfg);
+  Recorder r(sched, "r");
+  sched.wake_at(r, 10);
+  sched.wake_at(r, 63);
+  sched.wake_at(r, 64);   // overflow
+  sched.wake_at(r, 200);  // overflow
+  EXPECT_EQ(sched.bucket_pushes(), 2u);
+  EXPECT_EQ(sched.overflow_pushes(), 2u);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks, (std::vector<Cycle>{10, 63, 64, 200}));
+}
+
+TEST(CalendarQueue, RingBitsAreClampedToSaneRange) {
+  SchedulerConfig cfg;
+  cfg.ring_bits = 0;
+  EXPECT_EQ(Scheduler(cfg).config().ring_bits, 6u);
+  cfg.ring_bits = 64;
+  EXPECT_EQ(Scheduler(cfg).config().ring_bits, 20u);
+}
+
+TEST(CalendarQueue, OverflowEntriesDispatchBeforeBucketEntries) {
+  // B's wake for cycle 2000 is requested first (far future -> overflow);
+  // A's wake for the same cycle arrives later via a bucket once `now` is
+  // close enough.  FIFO seq order says B must tick before A — the
+  // overflow-before-bucket drain order is what preserves it.
+  struct Proxy final : Component {
+    Proxy(Scheduler& s, std::string n, std::vector<std::string>* order)
+        : Component(s, std::move(n)), order_(order) {}
+    void tick(Cycle) override { order_->push_back(name()); }
+    std::vector<std::string>* order_;
+  };
+  struct LateScheduler final : Component {
+    LateScheduler(Scheduler& s, Component& target)
+        : Component(s, "late"), target_(target) {}
+    void tick(Cycle) override { scheduler().wake_at(target_, 2000); }
+    Component& target_;
+  };
+
+  for (bool legacy : {false, true}) {
+    Scheduler sched(legacy ? legacy_heap_cfg() : SchedulerConfig{});
+    std::vector<std::string> order;
+    Proxy a(sched, "a", &order);
+    Proxy b(sched, "b", &order);
+    LateScheduler late(sched, a);
+    sched.wake_at(b, 2000);   // overflow tier (2000 > ring)
+    sched.wake_at(late, 1500);  // wakes `a` for 2000 from close range
+    EXPECT_TRUE(sched.run());
+    EXPECT_EQ(order, (std::vector<std::string>{"b", "a"})) << "legacy="
+                                                           << legacy;
+  }
+}
+
+TEST(CalendarQueue, ComponentWithMultiplePendingWakesUsesSpillNodes) {
+  // The embedded intrusive hook covers one pending wake; stacking many
+  // distinct future cycles on one component must spill cleanly.
+  Scheduler sched;
+  Recorder r(sched, "r");
+  for (Cycle c = 1; c <= 40; ++c) sched.wake_at(r, c * 3);
+  EXPECT_TRUE(sched.run());
+  EXPECT_EQ(r.ticks.size(), 40u);
+  for (std::size_t i = 0; i < r.ticks.size(); ++i) {
+    EXPECT_EQ(r.ticks[i], (i + 1) * 3);
+  }
+}
+
+TEST(CalendarQueue, IdleReflectsBothTiers) {
+  Scheduler sched;
+  EXPECT_TRUE(sched.idle());
+  Recorder r(sched, "r");
+  sched.wake_at(r, 5);  // bucket
+  EXPECT_FALSE(sched.idle());
+  EXPECT_TRUE(sched.run());
+  EXPECT_TRUE(sched.idle());
+  sched.wake_at(r, 5'000'000);  // overflow
+  EXPECT_FALSE(sched.idle());
+  EXPECT_TRUE(sched.run());
+  EXPECT_TRUE(sched.idle());
+}
+
+// ---------------------------------------------------------------------
+// FramePool
+// ---------------------------------------------------------------------
+
+TEST(FramePool, RecyclesSizeClasses) {
+  FramePool pool;
+  void* a = pool.allocate(100);  // rounds to 128
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.deallocate(a, 100);
+  EXPECT_EQ(pool.stats().recycled, 1u);
+  EXPECT_EQ(pool.stats().bytes_retained, 128u);
+  void* b = pool.allocate(120);  // same 128-byte class -> free-list hit
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+  pool.deallocate(b, 120);
+}
+
+TEST(FramePool, OversizeFramesPassThrough) {
+  FramePool pool;
+  void* p = pool.allocate(FramePool::kMaxPooledBytes + 1);
+  ASSERT_NE(p, nullptr);
+  pool.deallocate(p, FramePool::kMaxPooledBytes + 1);
+  EXPECT_EQ(pool.stats().oversize, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+}
+
+TEST(FramePool, TrimReleasesRetainedBytes) {
+  FramePool pool;
+  void* a = pool.allocate(64);
+  pool.deallocate(a, 64);
+  EXPECT_GT(pool.stats().bytes_retained, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -431,9 +598,27 @@ TEST(Task, ExceptionPropagatesToOwner) {
 TEST(Task, OnDoneFires) {
   bool fired = false;
   auto t = make_value_task(1);
-  t.set_on_done([&] { fired = true; });
+  t.set_on_done([](void* flag) { *static_cast<bool*>(flag) = true; }, &fired);
   t.start();
   EXPECT_TRUE(fired);
+}
+
+TEST(Task, CoroutineFramesComeFromTheThreadLocalPool) {
+  // Warm-up: the first task of a given frame size is a miss; every
+  // subsequent one of the same shape must be served from the free list.
+  {
+    auto t = make_value_task(1);
+    t.start();
+  }
+  const FramePool::Stats warm = FramePool::tls().stats();
+  for (int i = 0; i < 100; ++i) {
+    auto t = make_value_task(i);
+    t.start();
+    EXPECT_EQ(t.result(), i);
+  }
+  const FramePool::Stats after = FramePool::tls().stats();
+  EXPECT_EQ(after.misses, warm.misses) << "warm frames must not hit malloc";
+  EXPECT_GE(after.hits, warm.hits + 100);
 }
 
 }  // namespace

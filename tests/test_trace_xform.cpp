@@ -472,6 +472,43 @@ TEST(Inspect, EmptyTraceFormats) {
   const auto insp = xform::inspect_trace(t);
   EXPECT_EQ(insp.num_events, 0u);
   EXPECT_FALSE(xform::format_inspection(t, insp).empty());
+  EXPECT_FALSE(xform::format_inspection_json(t, insp).empty());
+}
+
+TEST(Inspect, JsonExportCarriesTheFullInspection) {
+  const Trace t = record_workload("hotspot", tiny_params());
+  const auto insp = xform::inspect_trace(t, 8);
+  const std::string json = xform::format_inspection_json(t, insp);
+
+  // Structural spot checks: header fields, totals, and array shapes.
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"hotspot\""), std::string::npos);
+  EXPECT_NE(json.find("\"width\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"num_events\": " + std::to_string(t.events.size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"traffic_matrix\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"time_histogram\": ["), std::string::npos);
+
+  // One matrix row per source node.
+  std::size_t rows = 0;
+  const std::string matrix_key = "\"traffic_matrix\"";
+  const std::size_t mstart = json.find(matrix_key);
+  const std::size_t mend = json.find("]\n  ],", mstart);
+  ASSERT_NE(mstart, std::string::npos);
+  ASSERT_NE(mend, std::string::npos);
+  for (std::size_t pos = json.find('[', mstart + matrix_key.size() + 2);
+       pos != std::string::npos && pos <= mend;
+       pos = json.find('[', pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 1u + 16u);  // the enclosing array plus 16 source rows
+
+  // Balanced braces/brackets (cheap well-formedness check without a
+  // JSON parser dependency; CI validates with python3 -m json.tool).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
 }
 
 TEST(Diff, IdenticalAfterDiskRoundTrip) {
