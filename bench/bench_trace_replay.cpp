@@ -25,7 +25,7 @@ namespace {
 struct Scenario {
   const char* name;      // workload registry name
   const char* tag;       // case-name prefix
-  workload::WorkloadParams params;
+  workload::RunRequest req;
 };
 
 }  // namespace
@@ -36,25 +36,27 @@ int main(int argc, char** argv) {
   Scenario scenarios[2];
   scenarios[0].name = "jacobi";
   scenarios[0].tag = "jacobi/8c_30x30";
-  scenarios[0].params.config.num_compute_cores = 8;
-  scenarios[0].params.size = 30;
-  scenarios[0].params.iterations = 2;
+  scenarios[0].req.machine.num_compute_cores = 8;
+  scenarios[0].req.app = workload::AppParams{};
+  scenarios[0].req.app->size = 30;
+  scenarios[0].req.app->iterations = 2;
 
   scenarios[1].name = "uniform";
   scenarios[1].tag = "uniform/16n_r0.1";
-  scenarios[1].params.flits_per_node = 2000;
-  scenarios[1].params.injection_rate = 0.1;
+  scenarios[1].req.synthetic = workload::SyntheticParams{};
+  scenarios[1].req.synthetic->flits_per_node = 2000;
+  scenarios[1].req.synthetic->injection_rate = 0.1;
 
   for (const Scenario& sc : scenarios) {
     // Record once (not timed); replay repetitions reuse the in-memory
     // trace so file I/O stays out of the measurement.
-    const workload::Trace trace = workload::record_workload(sc.name, sc.params);
+    const workload::Trace trace = workload::record_workload(sc.name, sc.req);
     const std::string cfg = std::string(sc.name) + " trace: " +
                             std::to_string(trace.events.size()) + " events";
 
     auto full = bench::run_case(
         std::string(sc.tag) + "/full", cfg, report.options(), [&] {
-          return workload::run_by_name(sc.name, sc.params).cycles;
+          return workload::run_by_name(sc.name, sc.req).cycles;
         });
     const double full_speed = full.sim_speed;
     full.metric("trace_events", static_cast<double>(trace.events.size()));
@@ -66,7 +68,7 @@ int main(int argc, char** argv) {
           noc::Network net(
               sched,
               noc::TorusGeometry(trace.meta.width, trace.meta.height),
-              sc.params.config.router, trace.meta.seed);
+              sc.req.machine.router, trace.meta.seed);
           return workload::run_replay(sched, net, trace).cycles;
         });
     const double speedup =

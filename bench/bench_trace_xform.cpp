@@ -28,10 +28,11 @@ int main(int argc, char** argv) {
   bench::Report report("trace_xform", argc, argv);
 
   // One hot recording shared by every case: 4x4 uniform at high load.
-  workload::WorkloadParams p;
-  p.flits_per_node = 4000;
-  p.injection_rate = 0.35;
-  const workload::Trace trace = workload::record_workload("uniform", p);
+  workload::RunRequest req;
+  req.synthetic = workload::SyntheticParams{};
+  req.synthetic->flits_per_node = 4000;
+  req.synthetic->injection_rate = 0.35;
+  const workload::Trace trace = workload::record_workload("uniform", req);
   const std::string cfg =
       "uniform 4x4 r=0.35, " + std::to_string(trace.events.size()) +
       " events; cycles column = events processed";
@@ -81,8 +82,8 @@ int main(int argc, char** argv) {
                                                 : "2"),
         cfg, report.options(), [&] {
           sim::Scheduler sched;
-          noc::Network net(sched, noc::TorusGeometry(4, 4), p.config.router,
-                           t.meta.seed);
+          noc::Network net(sched, noc::TorusGeometry(4, 4),
+                           req.machine.router, t.meta.seed);
           const auto r = workload::run_replay(sched, net, t, 50'000'000,
                                               /*allow_config_mismatch=*/true);
           wake_requests = sched.wake_requests();

@@ -1,35 +1,24 @@
-/// run_workload — the workload-engine front-end: list, run, record and
-/// replay any registered workload from the command line.
+/// run_workload — the workload-engine front-end: list, run, record,
+/// replay and saturation-sweep any registered workload from the command
+/// line.
 ///
-///   run_workload --list
-///       List every registered workload with its description.
+///   run_workload --list                 list registered workloads
+///   run_workload <name> [options]       run one workload
+///   run_workload <name> --sweep-load [options]
+///                                       walk offered load to saturation
+///                                       (synthetic patterns only)
 ///
-///   run_workload <name> [options]
-///       Run workload <name> (any registry name: jacobi, jacobi-sync,
-///       jacobi-sm, reduction, reduction-sm, uniform, hotspot,
-///       transpose, neighbor, replay).
-///
-///     --width=W --height=H   NoC torus dimensions      (default 4x4)
-///     --cores=P              compute cores             (default 4)
-///     --cache-kb=K           L1 size, power of two     (default 16)
-///     --policy=wb|wt         L1 write policy           (default wb)
-///     --size=N               problem size (grid n / elements)
-///     --iters=I              timed iterations/rounds   (default 1)
-///     --rate=R               injection rate, synthetic (default 0.1)
-///     --flits=F              flits per node, synthetic (default 1000)
-///     --hotspot=NODE         hotspot target node       (default 0)
-///     --seed=S               RNG seed                  (default 1)
-///     --verify               check against the host reference
-///     --stats                dump aggregate statistics
-///     --record=FILE          record the run's flit trace to FILE
-///     --trace=FILE           input trace (replay workload)
-///     --network=deflection|xy  fabric for synthetic patterns
-///     --trace-scale=F        replay: rate-scale the trace first
-///     --force                replay: allow a RouterConfig that differs
-///                            from the recorded (v2) trace header
+/// Options are generated from the RunRequest parameter structs and
+/// grouped the same way (--help prints the full table).  Flags only
+/// engage the request section they belong to, so a knob that does not
+/// apply to the chosen workload — say --trace-scale on `uniform`, or
+/// --injection-rate on `jacobi` — is a hard validation error, not a
+/// silently ignored no-op.
 ///
 /// Examples:
-///   run_workload uniform --width=8 --height=8 --rate=0.2
+///   run_workload uniform --width=8 --height=8 --injection-rate=0.2
+///   run_workload uniform --phased --process=onoff --measure=8192
+///   run_workload uniform --sweep-load --loads=0.05,0.15,0.25 --json=sat.json
 ///   run_workload bitrev --network=xy --record=xy.mdtr
 ///   run_workload jacobi --size=30 --record=jacobi.mdtr
 ///   run_workload replay --trace=jacobi.mdtr --trace-scale=2.0
@@ -39,33 +28,347 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "workload/saturation.h"
 #include "workload/workload.h"
 
 using namespace medea;
 
 namespace {
 
+// ---------------------------------------------------------------------
+// Declarative flag table, generated from the RunRequest sections
+// ---------------------------------------------------------------------
+
+/// CLI state the flag handlers mutate.  Sections are engaged on first
+/// touch; the engine's validate_request() then rejects sections the
+/// chosen workload cannot honor.
+struct Cli {
+  workload::RunRequest req;
+  bool stats = false;
+  std::string record_path;
+  std::string json_path;
+  // --sweep-load mode
+  bool sweep = false;
+  workload::LoadSweepSpec sweep_spec;
+
+  workload::SyntheticParams& synth() {
+    if (!req.synthetic) req.synthetic = workload::SyntheticParams{};
+    return *req.synthetic;
+  }
+  workload::AppParams& app() {
+    if (!req.app) req.app = workload::AppParams{};
+    return *req.app;
+  }
+  workload::ReplayParams& replay() {
+    if (!req.replay) req.replay = workload::ReplayParams{};
+    return *req.replay;
+  }
+};
+
+struct Flag {
+  const char* group;    ///< help section (mirrors the param struct)
+  const char* name;     ///< canonical spelling, e.g. "--injection-rate"
+  const char* alias;    ///< old spelling kept as an alias ("" = none)
+  const char* arg;      ///< metavar ("" = boolean flag)
+  const char* help;
+  std::function<void(Cli&, const char*)> set;
+};
+
+std::vector<double> parse_loads(const char* v) {
+  std::vector<double> out;
+  std::string s(v);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atof(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const std::vector<Flag>& flag_table() {
+  static const std::vector<Flag> flags = {
+      // --- machine (core::MedeaConfig + run-wide knobs) ---
+      {"machine", "--width", "", "W", "NoC torus width (default 4)",
+       [](Cli& c, const char* v) { c.req.machine.noc_width = std::atoi(v); }},
+      {"machine", "--height", "", "H", "NoC torus height (default 4)",
+       [](Cli& c, const char* v) { c.req.machine.noc_height = std::atoi(v); }},
+      {"machine", "--cores", "", "P", "compute cores (default 4)",
+       [](Cli& c, const char* v) {
+         c.req.machine.num_compute_cores = std::atoi(v);
+       }},
+      {"machine", "--cache-kb", "", "K", "L1 size in kB, power of two",
+       [](Cli& c, const char* v) {
+         c.req.machine.l1.size_bytes =
+             static_cast<std::uint32_t>(std::atoi(v)) * 1024;
+       }},
+      {"machine", "--policy", "", "wb|wt", "L1 write policy (default wb)",
+       [](Cli& c, const char* v) {
+         c.req.machine.l1.policy = std::string(v) == "wt"
+                                       ? mem::WritePolicy::kWriteThrough
+                                       : mem::WritePolicy::kWriteBack;
+       }},
+      {"machine", "--seed", "", "S", "RNG seed (default 1)",
+       [](Cli& c, const char* v) {
+         c.req.seed = static_cast<std::uint64_t>(std::atoll(v));
+       }},
+      {"machine", "--verify", "", "", "check against the host reference",
+       [](Cli& c, const char*) { c.req.verify = true; }},
+
+      // --- synthetic (SyntheticParams) ---
+      {"synthetic", "--injection-rate", "--rate", "R",
+       "offered load, flits/node/cycle (default 0.1)",
+       [](Cli& c, const char* v) { c.synth().injection_rate = std::atof(v); }},
+      {"synthetic", "--process", "", "bernoulli|onoff",
+       "injection process (default bernoulli)",
+       [](Cli& c, const char* v) {
+         c.synth().process.kind = std::string(v) == "onoff"
+                                      ? noc::InjectionKind::kOnOff
+                                      : noc::InjectionKind::kBernoulli;
+       }},
+      {"synthetic", "--burst-alpha", "", "A",
+       "onoff: per-cycle on->off probability (default 0.05)",
+       [](Cli& c, const char* v) {
+         c.synth().process.burst_alpha = std::atof(v);
+       }},
+      {"synthetic", "--burst-beta", "", "B",
+       "onoff: per-cycle off->on probability (default 0.02)",
+       [](Cli& c, const char* v) {
+         c.synth().process.burst_beta = std::atof(v);
+       }},
+      {"synthetic", "--flits-per-node", "--flits", "F",
+       "per-node budget, non-phased runs (default 1000)",
+       [](Cli& c, const char* v) { c.synth().flits_per_node = std::atoi(v); }},
+      {"synthetic", "--hotspot", "", "NODE", "hotspot target node (default 0)",
+       [](Cli& c, const char* v) { c.synth().hotspot_node = std::atoi(v); }},
+      {"synthetic", "--network", "", "deflection|xy",
+       "fabric the pattern runs on (default deflection)",
+       [](Cli& c, const char* v) { c.synth().network = v; }},
+
+      // --- app (AppParams) ---
+      {"app", "--size", "", "N", "problem size (grid n / elements)",
+       [](Cli& c, const char* v) { c.app().size = std::atoi(v); }},
+      {"app", "--iters", "", "I", "timed iterations/rounds (default 1)",
+       [](Cli& c, const char* v) { c.app().iterations = std::atoi(v); }},
+      {"app", "--warmup-iters", "", "I", "untimed warm-up iterations",
+       [](Cli& c, const char* v) { c.app().warmup_iterations = std::atoi(v); }},
+
+      // --- replay (ReplayParams) ---
+      {"replay", "--trace", "", "FILE", "input trace to replay",
+       [](Cli& c, const char* v) { c.replay().trace_path = v; }},
+      {"replay", "--trace-scale", "", "F", "rate-scale the trace first",
+       [](Cli& c, const char* v) { c.replay().trace_scale = std::atof(v); }},
+      {"replay", "--force", "", "",
+       "allow a RouterConfig differing from the trace header",
+       [](Cli& c, const char*) { c.replay().force_config = true; }},
+
+      // --- measurement (MeasurementParams) ---
+      {"measurement", "--no-collect", "", "",
+       "skip latency/throughput collection",
+       [](Cli& c, const char*) { c.req.measurement.collect = false; }},
+      {"measurement", "--phased", "", "",
+       "warmup/measure/drain run (synthetic only)",
+       [](Cli& c, const char*) { c.req.measurement.phased = true; }},
+      {"measurement", "--warmup", "", "C", "warmup cycles (default 1000)",
+       [](Cli& c, const char* v) {
+         c.req.measurement.warmup_cycles =
+             static_cast<sim::Cycle>(std::atoll(v));
+       }},
+      {"measurement", "--auto-warmup", "", "",
+       "detect steady state instead of fixed warmup",
+       [](Cli& c, const char*) { c.req.measurement.auto_warmup = true; }},
+      {"measurement", "--warmup-step", "", "C",
+       "steady-state probe window (default 256)",
+       [](Cli& c, const char* v) {
+         c.req.measurement.warmup_step =
+             static_cast<sim::Cycle>(std::atoll(v));
+       }},
+      {"measurement", "--steady-tol", "", "T",
+       "steady-state tolerance (default 0.05)",
+       [](Cli& c, const char* v) {
+         c.req.measurement.steady_tolerance = std::atof(v);
+       }},
+      {"measurement", "--measure", "", "C",
+       "measurement window length (default 4096)",
+       [](Cli& c, const char* v) {
+         c.req.measurement.measure_cycles =
+             static_cast<sim::Cycle>(std::atoll(v));
+       }},
+      {"measurement", "--drain-limit", "", "C",
+       "max extra drain cycles (default 1000000)",
+       [](Cli& c, const char* v) {
+         c.req.measurement.drain_limit =
+             static_cast<sim::Cycle>(std::atoll(v));
+       }},
+
+      // --- modes & output ---
+      {"output", "--record", "", "FILE", "record the run's flit trace",
+       [](Cli& c, const char* v) { c.record_path = v; }},
+      {"output", "--stats", "", "", "dump aggregate statistics",
+       [](Cli& c, const char*) { c.stats = true; }},
+      {"output", "--json", "", "FILE", "write latency/curve JSON",
+       [](Cli& c, const char* v) { c.json_path = v; }},
+      {"output", "--sweep-load", "", "",
+       "saturation sweep: walk offered load (synthetic only)",
+       [](Cli& c, const char*) { c.sweep = true; }},
+      {"output", "--loads", "", "A,B,..", "explicit sweep load points",
+       [](Cli& c, const char* v) { c.sweep_spec.loads = parse_loads(v); }},
+      {"output", "--load-start", "", "R", "sweep ramp start (default 0.05)",
+       [](Cli& c, const char* v) { c.sweep_spec.start = std::atof(v); }},
+      {"output", "--load-stop", "", "R", "sweep ramp stop (default 0.65)",
+       [](Cli& c, const char* v) { c.sweep_spec.stop = std::atof(v); }},
+      {"output", "--load-step", "", "R", "sweep ramp step (default 0.05)",
+       [](Cli& c, const char* v) { c.sweep_spec.step = std::atof(v); }},
+      {"output", "--saturation-ratio", "", "R",
+       "accepted/offered below R flags saturation (default 0.9)",
+       [](Cli& c, const char* v) {
+         c.sweep_spec.saturation_ratio = std::atof(v);
+       }},
+      {"output", "--stop-at-saturation", "", "",
+       "end the sweep at the first saturated point",
+       [](Cli& c, const char*) { c.sweep_spec.stop_at_saturation = true; }},
+  };
+  return flags;
+}
+
 void list_workloads() {
   std::printf("registered workloads:\n");
   for (const workload::Workload* w :
        workload::WorkloadRegistry::instance().list()) {
-    std::printf("  %-14s %s%s\n", w->name().c_str(),
-                w->noc_only() ? "[NoC-only] " : "", w->description().c_str());
+    std::printf("  %-14s [%s] %s\n", w->name().c_str(),
+                to_string(w->kind()), w->description().c_str());
   }
 }
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: run_workload --list\n"
-      "       run_workload <name> [--width=W] [--height=H] [--cores=P]\n"
-      "         [--cache-kb=K] [--policy=wb|wt] [--size=N] [--iters=I]\n"
-      "         [--rate=R] [--flits=F] [--hotspot=NODE] [--seed=S]\n"
-      "         [--verify] [--stats] [--record=FILE] [--trace=FILE]\n"
-      "         [--network=deflection|xy] [--trace-scale=F] [--force]\n");
+  std::fprintf(stderr,
+               "usage: run_workload --list\n"
+               "       run_workload <name> [options]\n"
+               "       run_workload <name> --sweep-load [options]\n\n");
+  const char* group = "";
+  for (const Flag& f : flag_table()) {
+    if (std::strcmp(group, f.group) != 0) {
+      group = f.group;
+      std::fprintf(stderr, "%s options:\n", group);
+    }
+    std::string lhs = f.name;
+    if (f.arg[0] != '\0') lhs += std::string("=") + f.arg;
+    if (f.alias[0] != '\0') lhs += std::string(" (") + f.alias + ")";
+    std::fprintf(stderr, "  %-32s %s\n", lhs.c_str(), f.help);
+  }
   return 1;
+}
+
+/// Match `arg` against a flag spelling: exact for booleans,
+/// "name=value" for valued flags.  Returns the value ("" for booleans)
+/// or nullptr on no match.
+const char* match(const std::string& arg, const char* name, bool valued) {
+  const std::size_t n = std::strlen(name);
+  if (!valued) return arg == name ? "" : nullptr;
+  if (arg.compare(0, n, name) == 0 && arg.size() > n && arg[n] == '=') {
+    return arg.c_str() + n + 1;
+  }
+  return nullptr;
+}
+
+void print_measurement(const workload::MeasurementResult& m) {
+  if (m.latency.count == 0) return;
+  std::printf(
+      "  latency (cycles): mean %.2f  p50 %llu  p99 %llu  p999 %llu  "
+      "max %llu  (%llu flits%s)\n",
+      m.latency.mean, static_cast<unsigned long long>(m.latency.p50),
+      static_cast<unsigned long long>(m.latency.p99),
+      static_cast<unsigned long long>(m.latency.p999),
+      static_cast<unsigned long long>(m.latency.max),
+      static_cast<unsigned long long>(m.latency.count),
+      m.drained ? "" : ", NOT drained");
+  std::printf("  throughput: offered %.4f  accepted %.4f flits/node/cycle\n",
+              m.offered_load, m.accepted_throughput);
+}
+
+void append_point_json(std::string& out, double requested,
+                       const workload::MeasurementResult& m, bool saturated) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"requested_load\": %.6f, \"offered_load\": %.6f, "
+      "\"accepted_throughput\": %.6f, \"mean\": %.3f, \"p50\": %llu, "
+      "\"p99\": %llu, \"p999\": %llu, \"max\": %llu, \"count\": %llu, "
+      "\"drained\": %s, \"saturated\": %s}",
+      requested, m.offered_load, m.accepted_throughput, m.latency.mean,
+      static_cast<unsigned long long>(m.latency.p50),
+      static_cast<unsigned long long>(m.latency.p99),
+      static_cast<unsigned long long>(m.latency.p999),
+      static_cast<unsigned long long>(m.latency.max),
+      static_cast<unsigned long long>(m.latency.count),
+      m.drained ? "true" : "false", saturated ? "true" : "false");
+  out += buf;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+int run_sweep_mode(const std::string& name, Cli& cli) {
+  cli.sweep_spec.workload = name;
+  cli.sweep_spec.base = cli.req;
+  const workload::SaturationCurve curve =
+      workload::sweep_load(cli.sweep_spec);
+
+  std::printf("%s on %s: saturation sweep (%zu points)\n",
+              curve.workload.c_str(), curve.network.c_str(),
+              curve.points.size());
+  std::printf("  %-10s %-10s %-10s %8s %8s %8s  %s\n", "requested", "offered",
+              "accepted", "p50", "p99", "p999", "");
+  for (const workload::LoadPoint& pt : curve.points) {
+    const workload::MeasurementResult& m = pt.measurement;
+    std::printf("  %-10.4f %-10.4f %-10.4f %8llu %8llu %8llu  %s\n",
+                pt.requested_load, m.offered_load, m.accepted_throughput,
+                static_cast<unsigned long long>(m.latency.p50),
+                static_cast<unsigned long long>(m.latency.p99),
+                static_cast<unsigned long long>(m.latency.p999),
+                pt.saturated ? "SATURATED" : "");
+  }
+  if (curve.saturation_load >= 0.0) {
+    std::printf("saturation at offered load %.4f (peak accepted %.4f)\n",
+                curve.saturation_load, curve.peak_accepted);
+  } else {
+    std::printf("no saturation up to the last point (peak accepted %.4f)\n",
+                curve.peak_accepted);
+  }
+
+  if (!cli.json_path.empty()) {
+    std::string j = "{\n  \"workload\": \"" + curve.workload +
+                    "\",\n  \"network\": \"" + curve.network +
+                    "\",\n  \"saturation_load\": " +
+                    std::to_string(curve.saturation_load) +
+                    ",\n  \"peak_accepted\": " +
+                    std::to_string(curve.peak_accepted) +
+                    ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      append_point_json(j, curve.points[i].requested_load,
+                        curve.points[i].measurement,
+                        curve.points[i].saturated);
+      j += i + 1 < curve.points.size() ? ",\n" : "\n";
+    }
+    j += "  ]\n}\n";
+    if (!write_file(cli.json_path, j)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   cli.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -79,83 +382,64 @@ int main(int argc, char** argv) {
   }
   if (name == "--help" || name == "-h" || name[0] == '-') return usage();
 
-  workload::WorkloadParams p;
-  p.config.num_compute_cores = 4;
-  bool stats = false;
-  std::string record_path;
+  Cli cli;
+  cli.req.machine.num_compute_cores = 4;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    auto val = [&](const char* key) -> const char* {
-      const std::size_t klen = std::strlen(key);
-      if (a.compare(0, klen, key) == 0 && a.size() > klen && a[klen] == '=') {
-        return a.c_str() + klen + 1;
+    bool handled = false;
+    for (const Flag& f : flag_table()) {
+      const bool valued = f.arg[0] != '\0';
+      const char* v = match(a, f.name, valued);
+      if (v == nullptr && f.alias[0] != '\0') v = match(a, f.alias, valued);
+      if (v != nullptr) {
+        f.set(cli, v);
+        handled = true;
+        break;
       }
-      return nullptr;
-    };
-    if (const char* v = val("--width")) {
-      p.config.noc_width = std::atoi(v);
-    } else if (const char* v2 = val("--height")) {
-      p.config.noc_height = std::atoi(v2);
-    } else if (const char* v3 = val("--cores")) {
-      p.config.num_compute_cores = std::atoi(v3);
-    } else if (const char* v4 = val("--cache-kb")) {
-      p.config.l1.size_bytes =
-          static_cast<std::uint32_t>(std::atoi(v4)) * 1024;
-    } else if (const char* v5 = val("--policy")) {
-      p.config.l1.policy = std::string(v5) == "wt"
-                               ? mem::WritePolicy::kWriteThrough
-                               : mem::WritePolicy::kWriteBack;
-    } else if (const char* v6 = val("--size")) {
-      p.size = std::atoi(v6);
-    } else if (const char* v7 = val("--iters")) {
-      p.iterations = std::atoi(v7);
-    } else if (const char* v8 = val("--rate")) {
-      p.injection_rate = std::atof(v8);
-    } else if (const char* v9 = val("--flits")) {
-      p.flits_per_node = std::atoi(v9);
-    } else if (const char* v10 = val("--hotspot")) {
-      p.hotspot_node = std::atoi(v10);
-    } else if (const char* v11 = val("--seed")) {
-      p.seed = static_cast<std::uint64_t>(std::atoll(v11));
-    } else if (const char* v12 = val("--record")) {
-      record_path = v12;
-    } else if (const char* v13 = val("--trace")) {
-      p.trace_path = v13;
-    } else if (const char* v14 = val("--network")) {
-      p.network = v14;
-    } else if (const char* v15 = val("--trace-scale")) {
-      p.trace_scale = std::atof(v15);
-    } else if (a == "--force") {
-      p.force_replay_config = true;
-    } else if (a == "--verify") {
-      p.verify = true;
-    } else if (a == "--stats") {
-      stats = true;
-    } else {
+    }
+    if (!handled) {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return usage();
     }
   }
-  p.config.workload = name;
+  cli.req.machine.workload = name;
 
   try {
-    workload::WorkloadResult res;
-    if (!record_path.empty()) {
-      const workload::Trace t = workload::record_workload(name, p, &res);
-      workload::save_trace(t, record_path);
+    if (cli.sweep) return run_sweep_mode(name, cli);
+
+    workload::RunResult res;
+    if (!cli.record_path.empty()) {
+      const workload::Trace t =
+          workload::record_workload(name, cli.req, &res);
+      workload::save_trace(t, cli.record_path);
       std::printf("recorded %zu injection events to %s\n", t.events.size(),
-                  record_path.c_str());
+                  cli.record_path.c_str());
     } else {
-      res = workload::run_by_name(name, p);
+      res = workload::run_by_name(name, cli.req);
     }
     std::printf(
         "%s: %llu cycles, %llu flits delivered, %s = %.2f%s\n", name.c_str(),
         static_cast<unsigned long long>(res.cycles),
         static_cast<unsigned long long>(res.flits_delivered),
         res.metric_name.c_str(), res.metric,
-        p.verify ? (res.verified_ok ? ", verified" : ", VERIFY FAILED") : "");
-    if (stats) std::fputs(res.stats.to_string().c_str(), stdout);
+        cli.req.verify ? (res.verified_ok ? ", verified" : ", VERIFY FAILED")
+                       : "");
+    print_measurement(res.measurement);
+    if (cli.stats) std::fputs(res.stats.to_string().c_str(), stdout);
+    if (!cli.json_path.empty()) {
+      std::string j = "{\n  \"workload\": \"" + name +
+                      "\",\n  \"points\": [\n";
+      const double requested =
+          cli.req.synthetic ? cli.req.synthetic->injection_rate : 0.0;
+      append_point_json(j, requested, res.measurement, false);
+      j += "\n  ]\n}\n";
+      if (!write_file(cli.json_path, j)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     cli.json_path.c_str());
+        return 1;
+      }
+    }
     return res.verified_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff sim_speed across BENCH_*.json files from successive runs.
+"""Diff sim_speed (and p99 latency) across BENCH_*.json files.
 
 Every bench binary writes a BENCH_<name>.json (bench/harness.h schema:
 name/config/cycles/wall_ns/sim_speed/metrics per case).  CI archives one
@@ -13,6 +13,11 @@ With one input it prints the run's cases.  With several, inputs are
 treated as successive runs (oldest first): cases are matched by
 (bench, case-name) and the relative sim_speed change from the first to
 the last run is reported.  Directories are scanned for BENCH_*.json.
+
+Cases that export a `p99` metric (e.g. bench_saturation's per-load
+latency rows) additionally get a p99 trend table — tail-latency
+regressions are tracked the same way as sim_speed ones (note the sign:
+p99 going UP is the regression).
 
 --max-regress=PCT exits non-zero when any matched case's sim_speed
 dropped by more than PCT percent (for CI gating; default: report only).
@@ -53,12 +58,42 @@ def fmt_speed(speed):
     return f"{speed / 1e6:10.2f}"
 
 
+def p99_of(case):
+    """The case's p99 metric, or None when it doesn't export one."""
+    return case.get("metrics", {}).get("p99")
+
+
 def print_single(label, cases):
     print(f"# {label}")
-    print(f"{'case':<44} {'Mcyc/s':>10} {'cycles':>14}")
+    print(f"{'case':<44} {'Mcyc/s':>10} {'cycles':>14} {'p99':>8}")
     for (bench, name), c in sorted(cases.items()):
+        p99 = p99_of(c)
+        p99_cell = f"{p99:8.0f}" if p99 is not None else f"{'-':>8}"
         print(f"{bench + '/' + name:<44} {fmt_speed(c['sim_speed'])} "
-              f"{c['cycles']:>14.0f}")
+              f"{c['cycles']:>14.0f} {p99_cell}")
+
+
+def print_p99_trend(runs, first, last, keys):
+    """Trend table for cases whose first and last runs both carry p99."""
+    keys = [k for k in keys
+            if p99_of(first[k]) is not None and p99_of(last[k]) is not None]
+    if not keys:
+        return
+    print(f"\n{'p99 latency (cycles)':<44} " + " ".join(
+        f"{Path(label).name[:14]:>14}" for label, _ in runs) + f" {'delta':>8}")
+    worst = 0.0
+    for key in keys:
+        cells = []
+        for _, cases in runs:
+            p99 = p99_of(cases.get(key, {}))
+            cells.append(f"{p99:14.0f}" if p99 is not None else f"{'-':>14}")
+        base, cur = p99_of(first[key]), p99_of(last[key])
+        delta = (cur - base) / base * 100.0 if base > 0 else 0.0
+        worst = max(worst, delta)
+        bench, name = key
+        print(f"{bench + '/' + name:<44} " + " ".join(cells) +
+              f" {delta:+7.1f}%")
+    print(f"worst p99 change: {worst:+.1f}% (positive = latency grew)")
 
 
 def main():
@@ -104,6 +139,8 @@ def main():
         print(f"{key[0] + '/' + key[1]:<44} (dropped after {first_label})")
     for key in only_last:
         print(f"{key[0] + '/' + key[1]:<44} (new in {last_label})")
+
+    print_p99_trend(runs, first, last, keys)
 
     if args.max_regress is not None and worst < -args.max_regress:
         print(f"\nbench_trend: FAIL: worst sim_speed regression {worst:.1f}% "

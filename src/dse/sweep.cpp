@@ -39,18 +39,42 @@ core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
 
 SweepPoint run_design_point(const SweepSpec& spec, int cores,
                             std::uint32_t cache_kb, mem::WritePolicy policy,
-                            double trace_scale) {
+                            double trace_scale, double injection_rate) {
   const std::string name = workload_name(spec);
+  const workload::Workload& w =
+      workload::WorkloadRegistry::instance().at(name);
 
-  workload::WorkloadParams wp;
-  wp.config = make_design_config(cores, cache_kb, policy);
-  wp.config.workload = name;
-  wp.size = spec.n;
-  wp.iterations = spec.timed_iterations;
-  wp.warmup_iterations = spec.warmup_iterations;
-  wp.trace_path = spec.trace_path;
-  wp.trace_scale = trace_scale;
-  const workload::WorkloadResult res = workload::run_by_name(name, wp);
+  workload::RunRequest req;
+  req.machine = make_design_config(cores, cache_kb, policy);
+  req.machine.workload = name;
+  switch (w.kind()) {
+    case workload::WorkloadKind::kApp: {
+      workload::AppParams ap;
+      ap.size = spec.n;
+      ap.iterations = spec.timed_iterations;
+      ap.warmup_iterations = spec.warmup_iterations;
+      req.app = ap;
+      break;
+    }
+    case workload::WorkloadKind::kReplay: {
+      workload::ReplayParams rp;
+      rp.trace_path = spec.trace_path;
+      rp.trace_scale = trace_scale;
+      req.replay = rp;
+      break;
+    }
+    case workload::WorkloadKind::kSynthetic: {
+      workload::SyntheticParams sp;
+      if (injection_rate >= 0.0) {
+        sp.injection_rate = injection_rate;
+        req.measurement = spec.measurement;
+        req.measurement.phased = true;
+      }
+      req.synthetic = sp;
+      break;
+    }
+  }
+  const workload::RunResult res = workload::run_workload(w, req);
 
   SweepPoint pt;
   pt.workload = name;
@@ -60,11 +84,14 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
   pt.variant = spec.variant;
   pt.cycles_per_iteration = res.metric;
   pt.metric_name = res.metric_name;
-  pt.area_mm2 = spec.area.chip_area_mm2(wp.config);
+  pt.area_mm2 = spec.area.chip_area_mm2(req.machine);
   pt.trace_scale = trace_scale;
+  pt.injection_rate = injection_rate;
+  pt.measurement = res.measurement;
   std::ostringstream label;
   label << cores << "P_" << cache_kb << "k$_" << mem::to_string(policy);
   if (trace_scale != 1.0) label << "_x" << trace_scale;
+  if (injection_rate >= 0.0) label << "_l" << injection_rate;
   pt.label = label.str();
   return pt;
 }
@@ -75,18 +102,29 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     std::uint32_t cache_kb;
     mem::WritePolicy policy;
     double trace_scale;
+    double injection_rate;
   };
-  // The replay rate-sweep axis multiplies the cross product; everything
-  // else runs each cell once, verbatim.
+  // The replay rate-sweep and synthetic load-sweep axes multiply the
+  // cross product; everything else runs each cell once, verbatim.
   std::vector<double> scales = {1.0};
   if (spec.workload == "replay" && !spec.trace_scales.empty()) {
     scales = spec.trace_scales;
+  }
+  std::vector<double> rates = {-1.0};
+  if (!spec.injection_rates.empty()) {
+    const workload::Workload* w =
+        workload::WorkloadRegistry::instance().find(workload_name(spec));
+    if (w != nullptr && w->kind() == workload::WorkloadKind::kSynthetic) {
+      rates = spec.injection_rates;
+    }
   }
   std::vector<Job> jobs;
   for (int c : spec.cores) {
     for (auto kb : spec.cache_kb) {
       for (auto pol : spec.policies) {
-        for (double s : scales) jobs.push_back({c, kb, pol, s});
+        for (double s : scales) {
+          for (double r : rates) jobs.push_back({c, kb, pol, s, r});
+        }
       }
     }
   }
@@ -111,8 +149,8 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     for (std::size_t i = first; i < jobs.size();
          i += static_cast<std::size_t>(threads)) {
       const Job& j = jobs[i];
-      out[i] =
-          run_design_point(spec, j.cores, j.cache_kb, j.policy, j.trace_scale);
+      out[i] = run_design_point(spec, j.cores, j.cache_kb, j.policy,
+                                j.trace_scale, j.injection_rate);
     }
   };
   if (threads == 1) {

@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "dse/area.h"
 #include "dse/pareto.h"
+#include "workload/measure.h"
 
 /// \file sweep.h
 /// Design-space exploration driver (paper §III).
@@ -42,6 +43,15 @@ struct SweepSpec {
   /// fast-forward answer to "how does this recorded traffic behave at
   /// 0.5x/2x load?".  Empty (the default) means verbatim replay only.
   std::vector<double> trace_scales;
+  /// Synthetic-only load sweep: each rate adds one design point per
+  /// (cores, cache, policy) cell, running the pattern phased
+  /// (warmup/measure/drain, see workload/measure.h) at that offered
+  /// load — the saturation-study axis.  Empty (the default) keeps the
+  /// workload's default rate and a plain fixed-budget run.
+  std::vector<double> injection_rates;
+  /// Measurement setup for the injection_rates axis (phase lengths,
+  /// steady-state detection); `phased` is forced on for those points.
+  workload::MeasurementParams measurement{};
 
   int n = 60;  ///< problem size (Jacobi grid / reduction elements)
   std::vector<int> cores = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
@@ -68,7 +78,14 @@ struct SweepPoint {
   std::string metric_name;
   double area_mm2 = 0.0;
   double trace_scale = 1.0;  ///< replay rate-sweep factor (1.0 = verbatim)
-  std::string label;  ///< e.g. "11P_16k$_WB" (replay scales append "_x<f>")
+  /// Synthetic load-sweep rate (< 0 on points not on that axis).
+  double injection_rate = -1.0;
+  /// Per-flit latency + throughput for this point (latency.count == 0
+  /// when the run did not collect).  Percentiles feed the saturation
+  /// figures the same way cycles feed the Pareto ones.
+  workload::MeasurementResult measurement{};
+  std::string label;  ///< e.g. "11P_16k$_WB" (replay scales append "_x<f>",
+                      ///< load sweeps "_l<rate>")
 };
 
 /// Build the MedeaConfig for one design point (shared by sweeps, tests
@@ -77,10 +94,12 @@ core::MedeaConfig make_design_config(int cores, std::uint32_t cache_kb,
                                      mem::WritePolicy policy);
 
 /// Run one design point (trace_scale != 1.0 only makes sense for the
-/// replay workload).
+/// replay workload; injection_rate >= 0 only for synthetic patterns,
+/// where it switches the point to a phased measured run).
 SweepPoint run_design_point(const SweepSpec& spec, int cores,
                             std::uint32_t cache_kb, mem::WritePolicy policy,
-                            double trace_scale = 1.0);
+                            double trace_scale = 1.0,
+                            double injection_rate = -1.0);
 
 /// Run the full cross product (optionally multi-threaded).  Points are
 /// batched per worker thread (striped ranges, one task per thread) so a

@@ -1,8 +1,104 @@
 #include "noc/traffic.h"
 
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 namespace medea::noc {
+
+namespace {
+
+class BernoulliInjection final : public InjectionProcess {
+ public:
+  explicit BernoulliInjection(double rate) : rate_(rate) {}
+  bool fire(sim::Xoshiro256& rng) override { return rng.next_bool(rate_); }
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state Markov-modulated (on-off) process: while ON, offer at the
+/// in-burst rate r1; while OFF, offer nothing.  Geometric dwell times
+/// (on->off with prob alpha, off->on with prob beta per cycle) give a
+/// steady-state ON fraction of beta/(alpha+beta), so r1 is scaled to
+/// make the long-run offered load equal the requested rate — the same
+/// construction as booksim2's `on_off` injection process.
+class OnOffInjection final : public InjectionProcess {
+ public:
+  OnOffInjection(double rate, double alpha, double beta,
+                 sim::Xoshiro256& rng)
+      : rate_(rate),
+        alpha_(alpha),
+        beta_(beta),
+        r1_(rate * (alpha + beta) / beta),
+        // Start each endpoint in its steady-state distribution (drawn
+        // from its own stream) so bursts decorrelate across nodes from
+        // cycle 1 instead of all starting in lockstep.
+        on_(rng.next_bool(beta / (alpha + beta))) {}
+
+  bool fire(sim::Xoshiro256& rng) override {
+    const bool offer = on_ && rng.next_bool(r1_);
+    if (on_) {
+      if (rng.next_bool(alpha_)) on_ = false;
+    } else {
+      if (rng.next_bool(beta_)) on_ = true;
+    }
+    return offer;
+  }
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+  double alpha_;
+  double beta_;
+  double r1_;  ///< in-burst offer probability
+  bool on_;
+};
+
+}  // namespace
+
+const char* to_string(InjectionKind k) {
+  switch (k) {
+    case InjectionKind::kBernoulli: return "bernoulli";
+    case InjectionKind::kOnOff: return "onoff";
+  }
+  return "?";
+}
+
+std::unique_ptr<InjectionProcess> make_injection_process(
+    const InjectionSpec& spec, double rate, sim::Xoshiro256& rng) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument(
+        "injection process: rate must be in [0, 1], got " +
+        std::to_string(rate));
+  }
+  switch (spec.kind) {
+    case InjectionKind::kBernoulli:
+      return std::make_unique<BernoulliInjection>(rate);
+    case InjectionKind::kOnOff: {
+      if (spec.burst_alpha <= 0.0 || spec.burst_alpha > 1.0 ||
+          spec.burst_beta <= 0.0 || spec.burst_beta > 1.0) {
+        throw std::invalid_argument(
+            "on-off injection: burst_alpha and burst_beta must be in "
+            "(0, 1]");
+      }
+      const double r1 =
+          rate * (spec.burst_alpha + spec.burst_beta) / spec.burst_beta;
+      if (r1 > 1.0) {
+        throw std::invalid_argument(
+            "on-off injection: rate " + std::to_string(rate) +
+            " is unreachable with on-fraction " +
+            std::to_string(spec.burst_beta /
+                           (spec.burst_alpha + spec.burst_beta)) +
+            " (in-burst rate would exceed 1 flit/cycle)");
+      }
+      return std::make_unique<OnOffInjection>(rate, spec.burst_alpha,
+                                              spec.burst_beta, rng);
+    }
+  }
+  throw std::invalid_argument("injection process: unknown kind");
+}
 
 const char* to_string(TrafficPattern p) {
   switch (p) {

@@ -1,8 +1,50 @@
 #include "sim/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace medea::sim {
+
+std::uint64_t LatencyHistogram::representative(int i) {
+  if (i < 2 * kSubBuckets) return static_cast<std::uint64_t>(i);
+  const int g = (i - 2 * kSubBuckets) / kSubBuckets + 1;
+  const int m = (i - 2 * kSubBuckets) % kSubBuckets + kSubBuckets;
+  const std::uint64_t lo = static_cast<std::uint64_t>(m) << g;
+  return lo + (std::uint64_t{1} << (g - 1));  // bucket midpoint
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based (q=0 -> first, q=1 -> last).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(representative(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+}
+
+void LatencyHistogram::clear() { *this = LatencyHistogram{}; }
 
 std::string StatSet::to_string() const {
   std::ostringstream os;

@@ -15,12 +15,20 @@
 #include "core/system.h"
 #include "noc/traffic.h"
 #include "noc/xy_network.h"
+#include "workload/measure.h"
 #include "workload/replay.h"
 #include "workload/workload.h"
 #include "workload/xform/transform.h"
 
 namespace medea::workload {
 namespace {
+
+/// The engaged section, or kind-appropriate defaults when the caller
+/// left it out (a disengaged section is "defaults", not an error).
+template <typename Section>
+Section section_or_default(const std::optional<Section>& s) {
+  return s.has_value() ? *s : Section{};
+}
 
 // ---------------------------------------------------------------------
 // Full-system applications
@@ -36,24 +44,25 @@ class JacobiWorkload final : public Workload {
 
   std::string name() const override { return name_; }
   std::string description() const override { return description_; }
+  WorkloadKind kind() const override { return WorkloadKind::kApp; }
 
-  WorkloadResult run(const WorkloadParams& p,
-                     noc::FlitObserver* observer) const override {
-    core::MedeaConfig cfg = p.config;
+  RunResult run(const RunRequest& req, RunContext& ctx) const override {
+    const AppParams ap = section_or_default(req.app);
+    core::MedeaConfig cfg = req.machine;
     cfg.workload = name_;
-    cfg.seed = p.seed;
+    cfg.seed = req.seed;
     core::MedeaSystem sys(cfg);
-    if (observer != nullptr) sys.network().set_observer(observer);
+    if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
 
     apps::JacobiParams jp;
-    jp.n = p.size > 0 ? p.size : 30;
-    jp.warmup_iterations = p.warmup_iterations;
-    jp.timed_iterations = p.iterations;
+    jp.n = ap.size > 0 ? ap.size : 30;
+    jp.warmup_iterations = ap.warmup_iterations;
+    jp.timed_iterations = ap.iterations;
     jp.variant = variant_;
-    jp.verify = p.verify;
+    jp.verify = req.verify;
     const apps::JacobiResult res = apps::run_jacobi(sys, jp);
 
-    WorkloadResult r;
+    RunResult r;
     r.cycles = res.total_cycles;
     r.metric = res.cycles_per_iteration;
     r.metric_name = "cycles_per_iteration";
@@ -79,22 +88,23 @@ class ReductionWorkload final : public Workload {
 
   std::string name() const override { return name_; }
   std::string description() const override { return description_; }
+  WorkloadKind kind() const override { return WorkloadKind::kApp; }
 
-  WorkloadResult run(const WorkloadParams& p,
-                     noc::FlitObserver* observer) const override {
-    core::MedeaConfig cfg = p.config;
+  RunResult run(const RunRequest& req, RunContext& ctx) const override {
+    const AppParams ap = section_or_default(req.app);
+    core::MedeaConfig cfg = req.machine;
     cfg.workload = name_;
-    cfg.seed = p.seed;
+    cfg.seed = req.seed;
     core::MedeaSystem sys(cfg);
-    if (observer != nullptr) sys.network().set_observer(observer);
+    if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
 
     apps::ReductionParams rp;
-    rp.elements = p.size > 0 ? p.size : 1024;
-    rp.repeats = p.iterations;
+    rp.elements = ap.size > 0 ? ap.size : 1024;
+    rp.repeats = ap.iterations;
     rp.variant = variant_;
     const apps::ReductionResult res = apps::run_reduction(sys, rp);
 
-    WorkloadResult r;
+    RunResult r;
     r.cycles = res.total_cycles;
     r.metric = res.cycles_per_round;
     r.metric_name = "cycles_per_round";
@@ -102,7 +112,7 @@ class ReductionWorkload final : public Workload {
     r.flits_delivered = r.stats.get("noc.flits_delivered");
     // The MP variant accumulates in rank order (exact); the SM variant's
     // order follows lock grants, so it gets the documented tolerance.
-    r.verified_ok = !p.verify || res.abs_error <= 1e-9;
+    r.verified_ok = !req.verify || res.abs_error <= 1e-9;
     return r;
   }
 
@@ -138,56 +148,79 @@ class SyntheticWorkload final : public Workload {
     }
     return "synthetic NoC traffic";
   }
-  bool noc_only() const override { return true; }
+  WorkloadKind kind() const override { return WorkloadKind::kSynthetic; }
 
-  TraceNetConfig net_config(const WorkloadParams& p) const override {
-    if (p.network == "xy") {
-      return TraceNetConfig::from(p.xy_router, p.xy_torus_wrap);
+  TraceNetConfig net_config(const RunRequest& req) const override {
+    const SyntheticParams sp = section_or_default(req.synthetic);
+    if (sp.network == "xy") {
+      return TraceNetConfig::from(sp.xy_router, sp.xy_torus_wrap);
     }
-    return TraceNetConfig::from(p.config.router);
+    return TraceNetConfig::from(req.machine.router);
   }
 
-  WorkloadResult run(const WorkloadParams& p,
-                     noc::FlitObserver* observer) const override {
+  RunResult run(const RunRequest& req, RunContext& ctx) const override {
+    const SyntheticParams sp = section_or_default(req.synthetic);
     noc::TrafficConfig tc;
     tc.pattern = pattern_;
-    tc.injection_rate = p.injection_rate;
-    tc.flits_per_node = p.flits_per_node;
-    tc.hotspot_node = p.hotspot_node;
-    tc.seed = p.seed;
+    tc.injection_rate = sp.injection_rate;
+    tc.process = sp.process;
+    tc.flits_per_node = sp.flits_per_node;
+    tc.hotspot_node = sp.hotspot_node;
+    tc.seed = req.seed;
 
-    // Synthetic patterns drive either fabric (p.network); stat keys and
+    // Synthetic patterns drive either fabric (sp.network); stat keys and
     // the latency accumulator just carry the fabric's prefix.
-    sim::Scheduler sched(p.config.scheduler);
-    const noc::TorusGeometry geom(p.config.noc_width, p.config.noc_height);
-    int received = 0;
-    WorkloadResult r;
-    if (p.network == "xy") {
-      noc::XyNetwork net(sched, geom, p.xy_router, p.xy_torus_wrap);
-      if (observer != nullptr) net.set_observer(observer);
-      received = noc::run_traffic(sched, net, tc);
-      r.metric = net.stats().acc("xynoc.latency").mean();
-      r.stats = net.stats();
-      r.flits_delivered = r.stats.get("xynoc.flits_delivered");
-    } else if (p.network == "deflection") {
-      noc::Network net(sched, geom, p.config.router, p.seed);
-      if (observer != nullptr) net.set_observer(observer);
-      received = noc::run_traffic(sched, net, tc);
-      r.metric = net.stats().acc("noc.latency").mean();
-      r.stats = net.stats();
-      r.flits_delivered = r.stats.get("noc.flits_delivered");
+    sim::Scheduler sched(req.machine.scheduler);
+    const noc::TorusGeometry geom(req.machine.noc_width,
+                                  req.machine.noc_height);
+    RunResult r;
+    if (sp.network == "xy") {
+      noc::XyNetwork net(sched, geom, sp.xy_router, sp.xy_torus_wrap);
+      run_on(sched, net, tc, req, ctx, r, "xynoc.");
+    } else if (sp.network == "deflection") {
+      noc::Network net(sched, geom, req.machine.router, req.seed);
+      run_on(sched, net, tc, req, ctx, r, "noc.");
     } else {
       throw std::invalid_argument(
-          "synthetic workload: unknown network '" + p.network +
+          "synthetic workload: unknown network '" + sp.network +
           "' (expected \"deflection\" or \"xy\")");
     }
     r.cycles = sched.now();
-    r.metric_name = "avg_flit_latency";
-    r.verified_ok = static_cast<std::uint64_t>(received) == r.flits_delivered;
     return r;
   }
 
  private:
+  /// One synthetic run on fabric Net: the classic fixed-budget drain, or
+  /// — when the request asks for it — a phased warmup/measure/drain run
+  /// driven through the measurement controller (validation guarantees
+  /// ctx.measure is set whenever measurement.phased is).
+  template <typename Net>
+  static void run_on(sim::Scheduler& sched, Net& net,
+                     const noc::TrafficConfig& tc, const RunRequest& req,
+                     RunContext& ctx, RunResult& r,
+                     const std::string& prefix) {
+    if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
+    if (req.measurement.phased) {
+      const MeasurementResult m =
+          run_phased_traffic(sched, net, tc, req.measurement, *ctx.measure);
+      r.metric = m.latency.mean;
+      r.metric_name = "measured_avg_flit_latency";
+      r.stats = net.stats();
+      r.flits_delivered = r.stats.get(prefix + "flits_delivered");
+      // A phased run is sound when every measured flit made it out.
+      r.verified_ok = m.drained;
+    } else {
+      const int received = noc::run_traffic(sched, net, tc);
+      r.metric = net.stats().acc(prefix + "latency").mean();
+      r.metric_name = "avg_flit_latency";
+      r.stats = net.stats();
+      r.flits_delivered =
+          r.stats.get(prefix + "flits_delivered");
+      r.verified_ok =
+          static_cast<std::uint64_t>(received) == r.flits_delivered;
+    }
+  }
+
   noc::TrafficPattern pattern_;
 };
 
@@ -202,29 +235,30 @@ class AlltoallWorkload final : public Workload {
     return "personalized all-to-all exchange over eMPI (ring schedule; "
            "every core sends a distinct chunk to every other core)";
   }
+  WorkloadKind kind() const override { return WorkloadKind::kApp; }
 
-  WorkloadResult run(const WorkloadParams& p,
-                     noc::FlitObserver* observer) const override {
-    core::MedeaConfig cfg = p.config;
+  RunResult run(const RunRequest& req, RunContext& ctx) const override {
+    const AppParams ap = section_or_default(req.app);
+    core::MedeaConfig cfg = req.machine;
     cfg.workload = name();
-    cfg.seed = p.seed;
+    cfg.seed = req.seed;
     core::MedeaSystem sys(cfg);
-    if (observer != nullptr) sys.network().set_observer(observer);
+    if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
 
-    apps::AlltoallParams ap;
-    ap.words_per_pair = p.size > 0 ? p.size : 8;
-    ap.repeats = p.iterations;
-    const apps::AlltoallResult res = apps::run_alltoall(sys, ap);
+    apps::AlltoallParams aap;
+    aap.words_per_pair = ap.size > 0 ? ap.size : 8;
+    aap.repeats = ap.iterations;
+    const apps::AlltoallResult res = apps::run_alltoall(sys, aap);
 
-    WorkloadResult r;
+    RunResult r;
     r.cycles = res.total_cycles;
     r.metric = res.cycles_per_round;
     r.metric_name = "cycles_per_round";
     r.stats = sys.aggregate_stats();
     r.flits_delivered = r.stats.get("noc.flits_delivered");
     // Receivers verify every word against the (src,dst,i) reference on
-    // every run; p.verify only decides whether the result gates on it.
-    r.verified_ok = !p.verify || res.verified_ok;
+    // every run; req.verify only decides whether the result gates on it.
+    r.verified_ok = !req.verify || res.verified_ok;
     return r;
   }
 };
@@ -238,53 +272,51 @@ class ReplayWorkload final : public Workload {
   std::string name() const override { return "replay"; }
   std::string description() const override {
     return "re-inject a recorded flit trace into a bare NoC (fast-forward "
-           "mode; requires trace_path, honors trace_scale)";
+           "mode; requires replay.trace_path, honors replay.trace_scale)";
   }
-  bool noc_only() const override { return true; }
+  WorkloadKind kind() const override { return WorkloadKind::kReplay; }
 
   /// The replay NoC takes its geometry from the trace header, not from
-  /// the params config (recorders must be sized accordingly).
-  std::pair<int, int> noc_dims(const WorkloadParams& p) const override {
-    const TraceMeta meta = load_trace_meta(require_path(p));
+  /// the machine config (recorders must be sized accordingly).
+  std::pair<int, int> noc_dims(const RunRequest& req) const override {
+    const TraceMeta meta = load_trace_meta(require_path(req));
     return {meta.width, meta.height};
   }
 
   /// Re-recording a replay keeps the original header's fabric.
-  TraceNetConfig net_config(const WorkloadParams& p) const override {
-    return load_trace_meta(require_path(p)).net;
+  TraceNetConfig net_config(const RunRequest& req) const override {
+    return load_trace_meta(require_path(req)).net;
   }
 
-  WorkloadResult run(const WorkloadParams& p,
-                     noc::FlitObserver* observer) const override {
+  RunResult run(const RunRequest& req, RunContext& ctx) const override {
+    const ReplayParams rp = section_or_default(req.replay);
     const std::shared_ptr<const Trace> trace_ptr =
-        load_cached(require_path(p), p.trace_scale);
+        load_cached(require_path(req), rp.trace_scale);
     const Trace& trace = *trace_ptr;
 
-    sim::Scheduler sched(p.config.scheduler);
+    sim::Scheduler sched(req.machine.scheduler);
     // Seed the NoC from the trace header, not the replay params: with
     // random_tie_break routers the recorded deflection choices depend on
     // the recorded seed, and bit-identical replay depends on matching it.
     const noc::TorusGeometry geom(trace.meta.width, trace.meta.height);
     ReplayResult res;
-    WorkloadResult r;
+    RunResult r;
     if (trace.meta.version >= 2 &&
         trace.meta.net.kind == TraceNetKind::kBufferedXy) {
       // The header says which fabric recorded the trace; rebuild exactly
-      // that one (the params' deflection RouterConfig does not apply).
+      // that one (the machine's deflection RouterConfig does not apply).
       noc::XyNetwork net(sched, geom, trace.meta.net.xy_router_config(),
                          trace.meta.net.torus_wrap);
-      if (observer != nullptr) net.set_observer(observer);
-      res = run_replay(sched, net, trace, kReplayLimit,
-                       p.force_replay_config);
+      if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
+      res = run_replay(sched, net, trace, kReplayLimit, rp.force_config);
       r.stats = net.stats();
     } else {
-      // Deflection replay runs on the params' RouterConfig; for v2
+      // Deflection replay runs on the machine's RouterConfig; for v2
       // traces the replayer refuses a config that differs from the
-      // recording unless p.force_replay_config makes it explicit.
-      noc::Network net(sched, geom, p.config.router, trace.meta.seed);
-      if (observer != nullptr) net.set_observer(observer);
-      res = run_replay(sched, net, trace, kReplayLimit,
-                       p.force_replay_config);
+      // recording unless rp.force_config makes it explicit.
+      noc::Network net(sched, geom, req.machine.router, trace.meta.seed);
+      if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
+      res = run_replay(sched, net, trace, kReplayLimit, rp.force_config);
       r.stats = net.stats();
     }
 
@@ -300,12 +332,12 @@ class ReplayWorkload final : public Workload {
  private:
   static constexpr sim::Cycle kReplayLimit = 50'000'000;
 
-  static const std::string& require_path(const WorkloadParams& p) {
-    if (p.trace_path.empty()) {
+  static const std::string& require_path(const RunRequest& req) {
+    if (!req.replay.has_value() || req.replay->trace_path.empty()) {
       throw std::invalid_argument(
-          "replay workload: params.trace_path must name a recorded trace");
+          "replay workload: replay.trace_path must name a recorded trace");
     }
-    return p.trace_path;
+    return req.replay->trace_path;
   }
 
   /// Traces are immutable once recorded, and a DSE sweep replays the

@@ -1,0 +1,86 @@
+#include "workload/measure.h"
+
+namespace medea::workload {
+
+MeasurementController::MeasurementController(const MeasurementParams& params,
+                                             int num_nodes,
+                                             noc::FlitObserver* forward)
+    : params_(params), num_nodes_(num_nodes), forward_(forward) {}
+
+void MeasurementController::on_inject(sim::Cycle now, int node,
+                                      const noc::Flit& f) {
+  if (forward_ != nullptr) forward_->on_inject(now, node, f);
+  if (in_window(f.inject_cycle)) ++injected_;
+}
+
+void MeasurementController::on_deliver(sim::Cycle now, int node,
+                                       const noc::Flit& f) {
+  if (forward_ != nullptr) forward_->on_deliver(now, node, f);
+  const std::uint64_t latency = now - f.inject_cycle;
+  probe_sum_ += static_cast<double>(latency);
+  ++probe_count_;
+  if (in_window(f.inject_cycle)) {
+    hist_.record(latency);
+    ++delivered_;
+  }
+}
+
+void MeasurementController::begin_window(sim::Cycle now) {
+  // The controller comes up with the window open from cycle 0 (whole-run
+  // mode).  A phased driver opening the real window must discard
+  // everything the warmup phase accumulated under that default.
+  warmup_end_ = now;
+  measure_end_ = sim::kNeverCycle;
+  hist_.clear();
+  injected_ = 0;
+  delivered_ = 0;
+}
+
+void MeasurementController::end_window(sim::Cycle now) { measure_end_ = now; }
+
+double MeasurementController::probe_mean() const {
+  if (probe_count_ == 0) return std::nan("");
+  return probe_sum_ / static_cast<double>(probe_count_);
+}
+
+void MeasurementController::reset_probe() {
+  probe_sum_ = 0.0;
+  probe_count_ = 0;
+}
+
+void MeasurementController::finalize(sim::Cycle end_cycle, bool drained) {
+  if (finalized_) return;
+  finalized_ = true;
+  run_cycles_ = end_cycle;
+  if (measure_end_ == sim::kNeverCycle) measure_end_ = end_cycle;
+  drained_ = drained;
+}
+
+MeasurementResult MeasurementController::result() const {
+  MeasurementResult r;
+  r.latency.count = hist_.count();
+  r.latency.mean = hist_.mean();
+  r.latency.min = hist_.min();
+  r.latency.p50 = hist_.p50();
+  r.latency.p99 = hist_.p99();
+  r.latency.p999 = hist_.p999();
+  r.latency.max = hist_.max();
+  r.warmup_end = warmup_end_;
+  r.measure_end = measure_end_;
+  r.run_cycles = run_cycles_;
+  r.injected = injected_;
+  r.delivered = delivered_;
+  r.drained = drained_;
+  const double window =
+      static_cast<double>(measure_end_ - warmup_end_);
+  if (window > 0.0 && num_nodes_ > 0) {
+    const double nodes = static_cast<double>(num_nodes_);
+    r.accepted_throughput = static_cast<double>(delivered_) / nodes / window;
+    r.offered_load = offered_override_ >= 0.0
+                         ? offered_override_
+                         : static_cast<double>(injected_) / nodes / window;
+  }
+  return r;
+}
+
+}  // namespace medea::workload

@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace medea::workload {
@@ -10,6 +11,15 @@ namespace detail {
 // constructor so the built-in set is always available.
 void register_builtins(WorkloadRegistry& reg);
 }  // namespace detail
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kApp: return "a full-system app";
+    case WorkloadKind::kSynthetic: return "a synthetic pattern";
+    case WorkloadKind::kReplay: return "a trace replay";
+  }
+  return "?";
+}
 
 WorkloadRegistry::WorkloadRegistry() { detail::register_builtins(*this); }
 
@@ -57,26 +67,152 @@ std::vector<std::string> WorkloadRegistry::names() const {
   return out;
 }
 
-WorkloadResult run_by_name(const std::string& name, const WorkloadParams& p,
-                           noc::FlitObserver* observer) {
-  return WorkloadRegistry::instance().at(name).run(p, observer);
+void validate_request(const RunRequest& req, const Workload& w) {
+  const WorkloadKind k = w.kind();
+  const auto misapplied = [&](const std::string& section,
+                              const std::string& knobs) {
+    throw std::invalid_argument(
+        "workload '" + w.name() + "' is " + to_string(k) + ": the " + section +
+        " section (" + knobs +
+        ") does not apply and would be silently ignored — drop it or pick a "
+        "matching workload");
+  };
+  if (req.synthetic.has_value() && k != WorkloadKind::kSynthetic) {
+    misapplied("synthetic",
+               "injection_rate/process/flits_per_node/hotspot_node/network");
+  }
+  if (req.app.has_value() && k != WorkloadKind::kApp) {
+    misapplied("app", "size/iterations/warmup_iterations");
+  }
+  if (req.replay.has_value() && k != WorkloadKind::kReplay) {
+    misapplied("replay", "trace_path/trace_scale/force_config");
+  }
+  if (k == WorkloadKind::kReplay &&
+      (!req.replay.has_value() || req.replay->trace_path.empty())) {
+    throw std::invalid_argument(
+        "replay workload: replay.trace_path must name a recorded trace");
+  }
+  const MeasurementParams& m = req.measurement;
+  if (m.phased && k != WorkloadKind::kSynthetic) {
+    throw std::invalid_argument(
+        "measurement.phased drives rate-controlled synthetic traffic, but "
+        "workload '" +
+        w.name() + "' is " + to_string(k));
+  }
+  if (m.phased) {
+    if (m.measure_cycles == 0) {
+      throw std::invalid_argument(
+          "measurement.measure_cycles must be > 0 for a phased run");
+    }
+    if (m.auto_warmup && m.warmup_step == 0) {
+      throw std::invalid_argument(
+          "measurement.warmup_step must be > 0 when auto_warmup is on");
+    }
+    if (m.steady_tolerance < 0.0) {
+      throw std::invalid_argument(
+          "measurement.steady_tolerance must be >= 0");
+    }
+  }
 }
 
-WorkloadResult run_configured(const WorkloadParams& p,
-                              noc::FlitObserver* observer) {
+RunResult run_workload(const Workload& w, const RunRequest& req,
+                       noc::FlitObserver* observer) {
+  validate_request(req, w);
+  if (!req.measurement.collect && !req.measurement.phased) {
+    RunContext ctx{observer, nullptr};
+    return w.run(req, ctx);
+  }
+  const auto [width, height] = w.noc_dims(req);
+  MeasurementController mc(req.measurement, width * height, observer);
+  RunContext ctx{observer, &mc};
+  RunResult r = w.run(req, ctx);
+  // Whole-run mode: the window is the entire run.  Phased runs were
+  // finalized by the driver already (finalize is idempotent).
+  mc.finalize(r.cycles, true);
+  r.measurement = mc.result();
+  return r;
+}
+
+RunResult run_by_name(const std::string& name, const RunRequest& req,
+                      noc::FlitObserver* observer) {
+  return run_workload(WorkloadRegistry::instance().at(name), req, observer);
+}
+
+RunResult run_configured(const RunRequest& req, noc::FlitObserver* observer) {
+  return run_by_name(req.machine.workload, req, observer);
+}
+
+Trace record_workload(const std::string& name, const RunRequest& req,
+                      RunResult* result) {
+  const Workload& w = WorkloadRegistry::instance().at(name);
+  const auto [width, height] = w.noc_dims(req);
+  TraceRecorder rec(width, height);
+  rec.set_net_config(w.net_config(req));
+  RunResult res = run_workload(w, req, &rec);
+  Trace t = rec.take(res.cycles, name, req.seed);
+  if (result != nullptr) *result = std::move(res);
+  return t;
+}
+
+// ---------------------------------------------------------------------
+// Compatibility shim (deprecated; see workload.h)
+// ---------------------------------------------------------------------
+
+RunRequest to_run_request(const Workload& w, const WorkloadParams& p) {
+  RunRequest req;
+  req.machine = p.config;
+  req.seed = p.seed;
+  req.verify = p.verify;
+  // Engage only the section the target workload reads — the flat struct
+  // carried every knob at once and ignored the mismatched ones, so the
+  // shim reproduces that permissiveness instead of tripping validation.
+  switch (w.kind()) {
+    case WorkloadKind::kApp: {
+      AppParams a;
+      a.size = p.size;
+      a.iterations = p.iterations;
+      a.warmup_iterations = p.warmup_iterations;
+      req.app = a;
+      break;
+    }
+    case WorkloadKind::kSynthetic: {
+      SyntheticParams s;
+      s.injection_rate = p.injection_rate;
+      s.flits_per_node = p.flits_per_node;
+      s.hotspot_node = p.hotspot_node;
+      s.network = p.network;
+      s.xy_router = p.xy_router;
+      s.xy_torus_wrap = p.xy_torus_wrap;
+      req.synthetic = s;
+      break;
+    }
+    case WorkloadKind::kReplay: {
+      ReplayParams rp;
+      rp.trace_path = p.trace_path;
+      rp.trace_scale = p.trace_scale;
+      rp.force_config = p.force_replay_config;
+      req.replay = rp;
+      break;
+    }
+  }
+  return req;
+}
+
+RunResult run_by_name(const std::string& name, const WorkloadParams& p,
+                      noc::FlitObserver* observer) {
+  const Workload& w = WorkloadRegistry::instance().at(name);
+  return run_workload(w, to_run_request(w, p), observer);
+}
+
+RunResult run_configured(const WorkloadParams& p,
+                         noc::FlitObserver* observer) {
   return run_by_name(p.config.workload, p, observer);
 }
 
 Trace record_workload(const std::string& name, const WorkloadParams& p,
-                      WorkloadResult* result) {
+                      RunResult* result) {
   const Workload& w = WorkloadRegistry::instance().at(name);
-  const auto [width, height] = w.noc_dims(p);
-  TraceRecorder rec(width, height);
-  rec.set_net_config(w.net_config(p));
-  WorkloadResult res = w.run(p, &rec);
-  Trace t = rec.take(res.cycles, name, p.seed);
-  if (result != nullptr) *result = std::move(res);
-  return t;
+  return record_workload(name, to_run_request(w, p), result);
 }
 
 }  // namespace medea::workload

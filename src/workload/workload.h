@@ -2,80 +2,151 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/config.h"
+#include "noc/traffic.h"
 #include "noc/xy_router.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+#include "workload/measure.h"
 #include "workload/trace.h"
 
 /// \file workload.h
 /// The workload engine: one name-addressable interface over everything
 /// the simulator can run.
 ///
-/// Before this layer existed the repo could exercise exactly two
-/// hand-written applications (jacobi, reduction) plus an ad-hoc synthetic
-/// traffic helper, each behind its own entry point.  The registry unifies
-/// them — and trace-driven replay — behind one factory keyed by name, so
+/// The registry unifies the full-system applications, the synthetic NoC
+/// patterns and trace-driven replay behind one factory keyed by name, so
 /// the DSE sweeps, the benches and the CLI can run *any* scenario
 /// uniformly (the BookSim-style pluggable-traffic idea, applied to the
 /// whole workload axis):
 ///
 ///   jacobi | jacobi-sync | jacobi-sm    full-system Jacobi variants
 ///   reduction | reduction-sm            full-system all-reduce variants
-///   uniform | hotspot | transpose | neighbor
+///   alltoall                            full-system eMPI exchange
+///   uniform | hotspot | transpose | neighbor | bitrev
 ///                                       NoC-only synthetic patterns
 ///   replay                              NoC-only trace replay
 ///
-/// Any workload can be recorded (pass a TraceRecorder; it attaches to the
-/// run's NoC) and the resulting trace replayed through the `replay`
-/// workload or run_replay() directly.
+/// ## The run API
+///
+/// A run is described by a RunRequest: the machine configuration plus
+/// *one* kind-specific parameter section (SyntheticParams / AppParams /
+/// ReplayParams) and the measurement knobs.  Sections are optional —
+/// leave them disengaged for defaults — but engaging a section the
+/// workload cannot honor is a validation error, not a silent no-op:
+/// passing replay knobs to `uniform` or an injection rate to `jacobi`
+/// fails loudly (see validate_request()).
+///
+/// Every run returns a RunResult carrying, besides the classic cycle
+/// count and headline metric, a MeasurementResult with per-flit latency
+/// percentiles (p50/p99/p999) and offered-vs-accepted throughput —
+/// collected through the FlitObserver hook, so apps, synthetic patterns
+/// and replays on either fabric are all measured the same way.
+/// Synthetic workloads additionally support phased warmup/measure/drain
+/// runs (MeasurementParams::phased) and, via sweep_load() in
+/// saturation.h, full offered-load saturation sweeps.
+///
+/// Any workload can still be recorded (record_workload() attaches a
+/// TraceRecorder to the run's NoC) and the resulting trace replayed
+/// through the `replay` workload or run_replay() directly.
 
 namespace medea::workload {
 
-/// Everything a workload needs to run.  `config` carries the machine
-/// knobs (NoC size, cores, L1, arbiter...); the rest are workload knobs
-/// with conventional meanings — workloads ignore what they don't use.
-struct WorkloadParams {
-  core::MedeaConfig config{};
-  int size = -1;                ///< problem size (grid n / elements); -1 = default
-  int iterations = 1;           ///< timed iterations / reduce rounds
-  int warmup_iterations = 1;    ///< untimed warm-up (apps only)
-  double injection_rate = 0.1;  ///< flits/node/cycle (synthetic only)
-  int flits_per_node = 1000;    ///< per-node budget (synthetic only)
-  int hotspot_node = 0;         ///< target of the hotspot pattern
-  std::uint64_t seed = 1;
-  bool verify = false;          ///< check against the host reference
-  std::string trace_path;       ///< input trace (replay workload only)
+/// What a workload fundamentally is — decides which RunRequest section
+/// applies and which measurement modes are meaningful.
+enum class WorkloadKind : std::uint8_t {
+  kApp,        ///< full-system application (PEs + caches + MPMMU)
+  kSynthetic,  ///< NoC-only rate-controlled traffic pattern
+  kReplay,     ///< NoC-only trace replay
+};
 
-  /// Fabric the NoC-only synthetic patterns run on: "deflection" (the
-  /// paper's router) or "xy" (the buffered XY baseline).  With "xy" the
-  /// run uses `xy_router`/`xy_torus_wrap` below and can be recorded and
-  /// replayed just like a deflection run.  Full-system apps ignore this.
+const char* to_string(WorkloadKind k);
+
+/// Knobs for synthetic NoC traffic (WorkloadKind::kSynthetic).
+struct SyntheticParams {
+  double injection_rate = 0.1;   ///< offered load, flits/node/cycle
+  noc::InjectionSpec process{};  ///< arrival process (Bernoulli/on-off)
+  int flits_per_node = 1000;     ///< per-node budget (non-phased runs)
+  int hotspot_node = 0;          ///< target of the hotspot pattern
+
+  /// Fabric the pattern runs on: "deflection" (the paper's router) or
+  /// "xy" (the buffered XY baseline).  With "xy" the run uses the
+  /// xy_router config below and can be recorded and replayed just like
+  /// a deflection run.
   std::string network = "deflection";
   noc::XyRouterConfig xy_router{};
   bool xy_torus_wrap = false;
+};
 
-  /// Replay-only: injection-rate scale applied to the trace before
-  /// replaying (1.0 = verbatim; see xform::RateScale).
+/// Knobs for full-system applications (WorkloadKind::kApp).
+struct AppParams {
+  int size = -1;              ///< problem size (grid n / elements); -1 = default
+  int iterations = 1;         ///< timed iterations / reduce rounds
+  int warmup_iterations = 1;  ///< untimed warm-up iterations
+};
+
+/// Knobs for trace replay (WorkloadKind::kReplay).
+struct ReplayParams {
+  std::string trace_path;  ///< recorded trace to re-inject (required)
+  /// Injection-rate scale applied to the trace before replaying
+  /// (1.0 = verbatim; see xform::RateScale).
   double trace_scale = 1.0;
-  /// Replay-only: replay a v2 trace even when `config.router` does not
+  /// Replay a v2 trace even when the machine's RouterConfig does not
   /// match the recorded fabric (the CLI --force flag).  Without it a
   /// mismatch fails loudly — replaying onto a different NoC
   /// configuration must be explicit, never an accident.
-  bool force_replay_config = false;
+  bool force_config = false;
 };
 
-struct WorkloadResult {
+/// Everything a run needs: the machine, one kind-specific section, and
+/// the measurement setup.  Engage exactly the section your workload
+/// kind uses (or none, for defaults); the others must stay nullopt.
+struct RunRequest {
+  core::MedeaConfig machine{};  ///< NoC size, cores, L1, arbiter, kernel...
+  std::uint64_t seed = 1;
+  bool verify = false;  ///< check against the host reference (apps)
+
+  std::optional<SyntheticParams> synthetic;
+  std::optional<AppParams> app;
+  std::optional<ReplayParams> replay;
+
+  MeasurementParams measurement{};
+};
+
+/// What a run produced.
+struct RunResult {
   sim::Cycle cycles = 0;        ///< simulated cycles to completion
   double metric = 0.0;          ///< headline metric (see metric_name)
   std::string metric_name;      ///< e.g. "cycles_per_iteration"
   std::uint64_t flits_delivered = 0;  ///< NoC deliveries during the run
   bool verified_ok = true;      ///< false only when verification failed
   sim::StatSet stats;           ///< aggregate hardware statistics
+
+  /// Latency percentiles and throughput (empty — latency.count == 0 —
+  /// when measurement.collect was off).
+  MeasurementResult measurement;
+};
+
+/// Per-run plumbing handed to Workload::run() by the engine: the
+/// caller's observer (e.g. a TraceRecorder) and, when measurement is
+/// on, the controller already chained in front of it.  Workloads attach
+/// observer() to their NoC; phased synthetic runs drive the controller
+/// directly.
+struct RunContext {
+  noc::FlitObserver* raw_observer = nullptr;
+  MeasurementController* measure = nullptr;
+
+  /// What to hang on the fabric: the controller when measuring (it
+  /// forwards to raw_observer), the raw observer otherwise.
+  noc::FlitObserver* observer() const {
+    return measure != nullptr ? static_cast<noc::FlitObserver*>(measure)
+                              : raw_observer;
+  }
 };
 
 /// One runnable scenario.  run() builds a fresh simulator every call
@@ -88,35 +159,42 @@ class Workload {
 
   virtual std::string name() const = 0;
   virtual std::string description() const = 0;
+  virtual WorkloadKind kind() const = 0;
 
   /// NoC-only workloads build just a Network (no PEs/MPMMU); core and
   /// cache knobs in the config are ignored.
-  virtual bool noc_only() const { return false; }
+  bool noc_only() const { return kind() != WorkloadKind::kApp; }
 
-  /// {width, height} of the NoC a run(p, ...) will actually build.
-  /// Defaults to the config torus; the replay workload answers from the
-  /// trace header instead.  Recorders must be sized from this (a
-  /// recorder sized for the wrong geometry would mis-linearize node ids
-  /// and truncate coordinates).
-  virtual std::pair<int, int> noc_dims(const WorkloadParams& p) const {
-    return {p.config.noc_width, p.config.noc_height};
+  /// {width, height} of the NoC a run will actually build.  Defaults to
+  /// the machine torus; the replay workload answers from the trace
+  /// header instead.  Recorders must be sized from this (a recorder
+  /// sized for the wrong geometry would mis-linearize node ids and
+  /// truncate coordinates).
+  virtual std::pair<int, int> noc_dims(const RunRequest& req) const {
+    return {req.machine.noc_width, req.machine.noc_height};
   }
 
-  /// The fabric a run(p, ...) will actually build, for the v2 trace
-  /// header.  Defaults to the config's deflection router; workloads that
-  /// build something else (the XY baseline, replay from a header)
-  /// override it so recordings stay self-describing.
-  virtual TraceNetConfig net_config(const WorkloadParams& p) const {
-    return TraceNetConfig::from(p.config.router);
+  /// The fabric a run will actually build, for the v2 trace header.
+  /// Defaults to the machine's deflection router; workloads that build
+  /// something else (the XY baseline, replay from a header) override it
+  /// so recordings stay self-describing.
+  virtual TraceNetConfig net_config(const RunRequest& req) const {
+    return TraceNetConfig::from(req.machine.router);
   }
 
-  /// Run the workload.  When `observer` is non-null it is attached as
-  /// the NoC's flit observer for the duration of the run (pass a
-  /// TraceRecorder to capture a replayable trace, or any other
-  /// FlitObserver for instrumentation).
-  virtual WorkloadResult run(const WorkloadParams& p,
-                             noc::FlitObserver* observer = nullptr) const = 0;
+  /// Run the workload.  Implementations attach ctx.observer() to the
+  /// NoC; the engine owns request validation and measurement
+  /// finalization, so prefer run_by_name()/run_workload() over calling
+  /// this directly.
+  virtual RunResult run(const RunRequest& req, RunContext& ctx) const = 0;
 };
+
+/// Engaging a RunRequest section the workload cannot honor throws
+/// std::invalid_argument naming the offending knob (replay knobs on a
+/// synthetic pattern, an injection rate on an app, phased measurement
+/// on anything that is not rate-controlled synthetic traffic, a replay
+/// without a trace path...).
+void validate_request(const RunRequest& req, const Workload& w);
 
 /// Name-keyed workload factory.  Built-ins self-register on first use;
 /// add() extends it with custom scenarios at runtime.
@@ -145,19 +223,74 @@ class WorkloadRegistry {
   std::map<std::string, std::unique_ptr<Workload>> by_name_;
 };
 
-/// Run the registry workload `name` (throws on unknown names).
-WorkloadResult run_by_name(const std::string& name, const WorkloadParams& p,
-                           noc::FlitObserver* observer = nullptr);
+/// Run `w` with a validated request: checks the request against the
+/// workload kind, chains a MeasurementController in front of `observer`
+/// when measurement is on, runs, and finalizes the measurement into the
+/// result.
+RunResult run_workload(const Workload& w, const RunRequest& req,
+                       noc::FlitObserver* observer = nullptr);
 
-/// Run the workload selected by p.config.workload.
-WorkloadResult run_configured(const WorkloadParams& p,
-                              noc::FlitObserver* observer = nullptr);
+/// Run the registry workload `name` (throws on unknown names and
+/// invalid requests).
+RunResult run_by_name(const std::string& name, const RunRequest& req,
+                      noc::FlitObserver* observer = nullptr);
+
+/// Run the workload selected by req.machine.workload.
+RunResult run_configured(const RunRequest& req,
+                         noc::FlitObserver* observer = nullptr);
 
 /// Record workload `name` into a trace: run it once with a recorder on
 /// the NoC, sized and described via the workload's noc_dims()/
 /// net_config().  The header captures geometry, fabric config, seed and
-/// cycle count.  `result` (optional) receives the run's WorkloadResult.
+/// cycle count.  `result` (optional) receives the run's RunResult —
+/// including its measurement, since the recorder chains behind the
+/// controller.
+Trace record_workload(const std::string& name, const RunRequest& req,
+                      RunResult* result = nullptr);
+
+// ---------------------------------------------------------------------
+// Compatibility shim — DEPRECATED, kept for exactly one PR
+// ---------------------------------------------------------------------
+
+/// DEPRECATED: the flat parameter grab-bag the RunRequest API replaced.
+/// Each field was only meaningful for one workload kind and misapplied
+/// knobs were silently ignored; to_run_request() maps it onto the
+/// section matching the target workload's kind (preserving the old
+/// permissive semantics).  Every in-repo caller has been migrated —
+/// this shim exists for downstream code and will be removed in the
+/// next PR.
+struct WorkloadParams {
+  core::MedeaConfig config{};
+  int size = -1;                ///< problem size (apps only)
+  int iterations = 1;           ///< timed iterations / reduce rounds
+  int warmup_iterations = 1;    ///< untimed warm-up (apps only)
+  double injection_rate = 0.1;  ///< flits/node/cycle (synthetic only)
+  int flits_per_node = 1000;    ///< per-node budget (synthetic only)
+  int hotspot_node = 0;         ///< target of the hotspot pattern
+  std::uint64_t seed = 1;
+  bool verify = false;
+  std::string trace_path;       ///< input trace (replay workload only)
+  std::string network = "deflection";
+  noc::XyRouterConfig xy_router{};
+  bool xy_torus_wrap = false;
+  double trace_scale = 1.0;
+  bool force_replay_config = false;
+};
+
+/// DEPRECATED alias: results are RunResults now.
+using WorkloadResult = RunResult;
+
+/// DEPRECATED: build the RunRequest equivalent of flat params for the
+/// given workload (the section engaged matches w.kind()).
+RunRequest to_run_request(const Workload& w, const WorkloadParams& p);
+
+/// DEPRECATED: flat-params entry points; each converts via
+/// to_run_request() and forwards to the RunRequest overload.
+RunResult run_by_name(const std::string& name, const WorkloadParams& p,
+                      noc::FlitObserver* observer = nullptr);
+RunResult run_configured(const WorkloadParams& p,
+                         noc::FlitObserver* observer = nullptr);
 Trace record_workload(const std::string& name, const WorkloadParams& p,
-                      WorkloadResult* result = nullptr);
+                      RunResult* result = nullptr);
 
 }  // namespace medea::workload

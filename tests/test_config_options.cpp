@@ -8,6 +8,8 @@
 
 #include "core/medea.h"
 #include "noc/traffic.h"
+#include "sim/rng.h"
+#include "workload/workload.h"
 
 namespace medea {
 namespace {
@@ -250,6 +252,79 @@ TEST(MemoryMapEdge, PrivateAddrRangeChecked) {
   cfg.num_compute_cores = 1;
   core::MedeaSystem sys(cfg);
   EXPECT_THROW(sys.private_addr(0, 1u << 20), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------
+// Run-request footguns: knobs that used to be silently ignored
+// ---------------------------------------------------------------------
+
+TEST(RunRequestFootguns, TraceScaleOnSyntheticWorkloadIsAnError) {
+  // Pre-redesign, --trace-scale on a synthetic pattern was a silent
+  // no-op.  Engaging the replay section on `uniform` must now throw an
+  // error that names the misapplied knob.
+  workload::RunRequest req;
+  req.replay = workload::ReplayParams{};
+  req.replay->trace_scale = 2.0;
+  try {
+    workload::run_by_name("uniform", req);
+    FAIL() << "replay section on a synthetic workload must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("uniform"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trace_scale"), std::string::npos) << msg;
+  }
+}
+
+TEST(RunRequestFootguns, InjectionRateOnAppWorkloadIsAnError) {
+  workload::RunRequest req;
+  req.synthetic = workload::SyntheticParams{};
+  req.synthetic->injection_rate = 0.5;
+  req.app = workload::AppParams{};
+  req.app->size = 8;
+  try {
+    workload::run_by_name("jacobi", req);
+    FAIL() << "synthetic section on an app workload must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("jacobi"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("injection_rate"), std::string::npos) << msg;
+  }
+}
+
+TEST(RunRequestFootguns, PhasedMeasurementOnReplayIsAnError) {
+  workload::RunRequest req;
+  req.replay = workload::ReplayParams{};
+  req.replay->trace_path = "/nonexistent.mdtr";
+  req.measurement.phased = true;
+  EXPECT_THROW(workload::run_by_name("replay", req), std::invalid_argument)
+      << "phased warmup/measure/drain only applies to rate-controlled "
+         "synthetic traffic";
+}
+
+// ---------------------------------------------------------------------
+// Injection-process configuration
+// ---------------------------------------------------------------------
+
+TEST(InjectionProcessConfig, RejectsOutOfRangeRates) {
+  sim::Xoshiro256 rng(1);
+  noc::InjectionSpec spec;
+  EXPECT_THROW(noc::make_injection_process(spec, -0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(noc::make_injection_process(spec, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(InjectionProcessConfig, RejectsUnreachableBurstRates) {
+  // With on-fraction beta/(alpha+beta) = 0.02/0.07, a mean rate of 0.5
+  // would need an in-burst rate of 1.75 flits/cycle — impossible.
+  sim::Xoshiro256 rng(1);
+  noc::InjectionSpec spec;
+  spec.kind = noc::InjectionKind::kOnOff;
+  EXPECT_THROW(noc::make_injection_process(spec, 0.5, rng),
+               std::invalid_argument);
+  spec.burst_beta = 0.0;  // must be in (0, 1]
+  EXPECT_THROW(noc::make_injection_process(spec, 0.1, rng),
+               std::invalid_argument);
 }
 
 }  // namespace

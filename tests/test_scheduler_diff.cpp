@@ -49,14 +49,30 @@ struct DeliveryLog final : noc::FlitObserver {
   }
 };
 
-workload::WorkloadParams tiny_params(const SchedulerConfig& sched) {
-  workload::WorkloadParams p;
-  p.config.num_compute_cores = 2;
-  p.config.scheduler = sched;
-  p.size = 8;
-  p.flits_per_node = 50;
-  p.injection_rate = 0.3;
-  return p;
+/// Tiny request for `name`, with the section matching its kind engaged.
+workload::RunRequest tiny_req(const SchedulerConfig& sched,
+                              const std::string& name) {
+  workload::RunRequest req;
+  req.machine.num_compute_cores = 2;
+  req.machine.scheduler = sched;
+  switch (workload::WorkloadRegistry::instance().at(name).kind()) {
+    case workload::WorkloadKind::kApp: {
+      workload::AppParams ap;
+      ap.size = 8;
+      req.app = ap;
+      break;
+    }
+    case workload::WorkloadKind::kSynthetic: {
+      workload::SyntheticParams sp;
+      sp.injection_rate = 0.3;
+      sp.flits_per_node = 50;
+      req.synthetic = sp;
+      break;
+    }
+    case workload::WorkloadKind::kReplay:
+      break;  // caller fills req.replay
+  }
+  return req;
 }
 
 void expect_stats_identical(const sim::StatSet& a, const sim::StatSet& b,
@@ -82,21 +98,23 @@ void expect_stats_identical(const sim::StatSet& a, const sim::StatSet& b,
 /// are indistinguishable: cycle count, headline metric, flit totals,
 /// aggregate stats and the raw per-flit delivery log.
 void check_workload_identical(const std::string& name,
-                              workload::WorkloadParams base) {
-  base.config.scheduler = calendar_cfg();
+                              workload::RunRequest base) {
+  base.machine.scheduler = calendar_cfg();
   DeliveryLog cal_log;
-  const workload::WorkloadResult cal =
+  const workload::RunResult cal =
       workload::run_by_name(name, base, &cal_log);
 
-  base.config.scheduler = legacy_cfg();
+  base.machine.scheduler = legacy_cfg();
   DeliveryLog heap_log;
-  const workload::WorkloadResult heap =
+  const workload::RunResult heap =
       workload::run_by_name(name, base, &heap_log);
 
   EXPECT_EQ(cal.cycles, heap.cycles) << name;
   EXPECT_EQ(cal.metric, heap.metric) << name;
   EXPECT_EQ(cal.flits_delivered, heap.flits_delivered) << name;
   EXPECT_EQ(cal.verified_ok, heap.verified_ok) << name;
+  EXPECT_EQ(cal.measurement, heap.measurement)
+      << name << ": latency measurements diverged";
   EXPECT_EQ(cal_log.v, heap_log.v) << name << ": delivery logs diverged";
   expect_stats_identical(cal.stats, heap.stats, name);
 }
@@ -105,9 +123,9 @@ TEST(SchedulerDiff, EveryRegistryWorkloadIsBitIdentical) {
   for (const char* name :
        {"jacobi", "jacobi-sync", "jacobi-sm", "reduction", "reduction-sm",
         "alltoall", "uniform", "hotspot", "transpose", "neighbor", "bitrev"}) {
-    workload::WorkloadParams p = tiny_params(calendar_cfg());
-    p.verify = true;
-    check_workload_identical(name, p);
+    workload::RunRequest req = tiny_req(calendar_cfg(), name);
+    req.verify = true;
+    check_workload_identical(name, req);
   }
 }
 
@@ -115,41 +133,42 @@ TEST(SchedulerDiff, SaturatedDeflectionTrafficIsBitIdentical) {
   // High injection on the deflection fabric with random tie-breaks: the
   // densest wake pattern the NoC produces, and RNG draws make any
   // dispatch-order divergence between the kernels instantly visible.
-  workload::WorkloadParams p = tiny_params(calendar_cfg());
-  p.injection_rate = 0.9;
-  p.flits_per_node = 200;
-  p.config.router.random_tie_break = true;
-  p.seed = 7;
-  check_workload_identical("uniform", p);
+  workload::RunRequest req = tiny_req(calendar_cfg(), "uniform");
+  req.synthetic->injection_rate = 0.9;
+  req.synthetic->flits_per_node = 200;
+  req.machine.router.random_tie_break = true;
+  req.seed = 7;
+  check_workload_identical("uniform", req);
 }
 
 TEST(SchedulerDiff, XyFabricIsBitIdentical) {
-  workload::WorkloadParams p = tiny_params(calendar_cfg());
-  p.network = "xy";
-  check_workload_identical("transpose", p);
+  workload::RunRequest req = tiny_req(calendar_cfg(), "transpose");
+  req.synthetic->network = "xy";
+  check_workload_identical("transpose", req);
 }
 
 TEST(SchedulerDiff, TraceReplayIsBitIdentical) {
   // Record once (under the default kernel), replay under both.
-  workload::WorkloadParams rec = tiny_params(calendar_cfg());
-  rec.injection_rate = 0.5;
+  workload::RunRequest rec = tiny_req(calendar_cfg(), "uniform");
+  rec.synthetic->injection_rate = 0.5;
   const workload::Trace t = workload::record_workload("uniform", rec);
   const std::string path = testing::TempDir() + "/medea_sched_diff_replay.bin";
   workload::save_trace(t, path);
 
-  workload::WorkloadParams p = tiny_params(calendar_cfg());
-  p.trace_path = path;
-  check_workload_identical("replay", p);
+  workload::RunRequest req = tiny_req(calendar_cfg(), "replay");
+  req.replay = workload::ReplayParams{};
+  req.replay->trace_path = path;
+  check_workload_identical("replay", req);
 }
 
 TEST(SchedulerDiff, JacobiFullSweepPointIsBitIdentical) {
   // A 15-core design point: the PE-dense configuration whose wake/frame
   // churn the calendar queue and frame pool exist for.
-  workload::WorkloadParams p = tiny_params(calendar_cfg());
-  p.config.num_compute_cores = 15;
-  p.size = 12;
-  p.verify = true;
-  check_workload_identical("jacobi", p);
+  workload::RunRequest req = tiny_req(calendar_cfg(), "jacobi");
+  req.machine.num_compute_cores = 15;
+  req.app->size = 12;
+  req.verify = true;
+  check_workload_identical("jacobi", req);
 }
 
 // ---------------------------------------------------------------------

@@ -26,20 +26,32 @@
 namespace medea::workload {
 namespace {
 
-WorkloadParams tiny_params() {
-  WorkloadParams p;
-  p.config.num_compute_cores = 2;
-  p.size = 8;
-  p.flits_per_node = 40;
-  p.injection_rate = 0.3;
-  return p;
+RunRequest tiny_synth() {
+  RunRequest req;
+  req.machine.num_compute_cores = 2;
+  SyntheticParams sp;
+  sp.injection_rate = 0.3;
+  sp.flits_per_node = 40;
+  req.synthetic = sp;
+  return req;
+}
+
+/// Replay request for a trace on disk (machine config left default).
+RunRequest replay_req(const std::string& path) {
+  RunRequest req;
+  req.replay = ReplayParams{};
+  req.replay->trace_path = path;
+  return req;
 }
 
 /// Record a small 4x4 jacobi trace (the acceptance scenario's source).
 Trace record_jacobi() {
-  WorkloadParams p = tiny_params();
-  p.config.num_compute_cores = 4;
-  return record_workload("jacobi", p);
+  RunRequest req;
+  req.machine.num_compute_cores = 4;
+  AppParams ap;
+  ap.size = 8;
+  req.app = ap;
+  return record_workload("jacobi", req);
 }
 
 /// Replay `t` on the fabric its header describes and require a clean
@@ -67,10 +79,10 @@ ReplayResult replay_cleanly(const Trace& t) {
 // ---------------------------------------------------------------------
 
 TEST(TraceV2, RecordingsCarryTheFabricConfig) {
-  WorkloadParams p = tiny_params();
-  p.config.router.eject_per_cycle = 2;
-  p.config.router.random_tie_break = true;
-  const Trace t = record_workload("uniform", p);
+  RunRequest req = tiny_synth();
+  req.machine.router.eject_per_cycle = 2;
+  req.machine.router.random_tie_break = true;
+  const Trace t = record_workload("uniform", req);
   EXPECT_EQ(t.meta.version, kTraceVersion);
   EXPECT_EQ(t.meta.net.kind, TraceNetKind::kDeflection);
   EXPECT_EQ(t.meta.net.eject_per_cycle, 2);
@@ -254,7 +266,7 @@ TEST(TraceV2, RejectsFutureVersion) {
 // ---------------------------------------------------------------------
 
 TEST(ReplayConfigCheck, MismatchedRouterConfigThrows) {
-  const Trace t = record_workload("uniform", tiny_params());
+  const Trace t = record_workload("uniform", tiny_synth());
   noc::RouterConfig other;
   other.eject_per_cycle = 2;  // recorded with 1
   sim::Scheduler sched;
@@ -268,9 +280,9 @@ TEST(ReplayConfigCheck, MismatchedRouterConfigThrows) {
 
 TEST(ReplayConfigCheck, KindMismatchThrows) {
   // An XY recording must not silently replay on the deflection fabric.
-  WorkloadParams p = tiny_params();
-  p.network = "xy";
-  const Trace t = record_workload("neighbor", p);
+  RunRequest req = tiny_synth();
+  req.synthetic->network = "xy";
+  const Trace t = record_workload("neighbor", req);
   ASSERT_EQ(t.meta.net.kind, TraceNetKind::kBufferedXy);
   sim::Scheduler sched;
   noc::Network net(sched, noc::TorusGeometry(4, 4));
@@ -278,18 +290,16 @@ TEST(ReplayConfigCheck, KindMismatchThrows) {
 }
 
 TEST(ReplayConfigCheck, RegistryReplayRefusesThenForces) {
-  WorkloadParams p = tiny_params();
-  const Trace t = record_workload("uniform", p);
+  const Trace t = record_workload("uniform", tiny_synth());
   const std::string path = testing::TempDir() + "/medea_force_replay.bin";
   save_trace(t, path);
 
-  WorkloadParams rp;
-  rp.trace_path = path;
-  rp.config.router.eject_per_cycle = 2;  // not what was recorded
-  EXPECT_THROW(run_by_name("replay", rp), std::runtime_error);
+  RunRequest rr = replay_req(path);
+  rr.machine.router.eject_per_cycle = 2;  // not what was recorded
+  EXPECT_THROW(run_by_name("replay", rr), std::runtime_error);
 
-  rp.force_replay_config = true;
-  const WorkloadResult r = run_by_name("replay", rp);
+  rr.replay->force_config = true;
+  const RunResult r = run_by_name("replay", rr);
   EXPECT_EQ(r.flits_delivered, t.events.size());
   EXPECT_TRUE(r.verified_ok);
 }
@@ -342,7 +352,7 @@ TEST(Transforms, BijectiveRemapRejectsShrinking) {
 }
 
 TEST(Transforms, TiledRemapClonesPerTileWithDisjointUids) {
-  const Trace t = record_workload("neighbor", tiny_params());
+  const Trace t = record_workload("neighbor", tiny_synth());
   ASSERT_FALSE(t.events.empty());
   const Trace r =
       xform::RemapNodes(8, 8, xform::RemapMode::kTiled).apply(t);
@@ -365,10 +375,10 @@ TEST(Transforms, RemapRejectsFabricsBeyondSrcIdWidth) {
 }
 
 TEST(Transforms, MergeInterleavesAndRespacesUids) {
-  WorkloadParams p = tiny_params();
-  const Trace a = record_workload("neighbor", p);
-  p.seed = 9;
-  const Trace b = record_workload("uniform", p);
+  RunRequest req = tiny_synth();
+  const Trace a = record_workload("neighbor", req);
+  req.seed = 9;
+  const Trace b = record_workload("uniform", req);
   const Trace m = xform::merge_traces(a, b);
   validate_trace(m);
   EXPECT_EQ(m.events.size(), a.events.size() + b.events.size());
@@ -380,17 +390,17 @@ TEST(Transforms, MergeInterleavesAndRespacesUids) {
 }
 
 TEST(Transforms, MergeRejectsMismatchedGeometryOrFabric) {
-  WorkloadParams p = tiny_params();
-  const Trace a = record_workload("neighbor", p);
-  WorkloadParams p8 = p;
-  p8.config.noc_width = 8;
-  p8.config.noc_height = 8;
-  const Trace b = record_workload("neighbor", p8);
+  const RunRequest req = tiny_synth();
+  const Trace a = record_workload("neighbor", req);
+  RunRequest req8 = req;
+  req8.machine.noc_width = 8;
+  req8.machine.noc_height = 8;
+  const Trace b = record_workload("neighbor", req8);
   EXPECT_THROW(xform::merge_traces(a, b), std::invalid_argument);
 
-  WorkloadParams pc = p;
-  pc.config.router.eject_per_cycle = 2;
-  const Trace c = record_workload("neighbor", pc);
+  RunRequest reqc = req;
+  reqc.machine.router.eject_per_cycle = 2;
+  const Trace c = record_workload("neighbor", reqc);
   EXPECT_THROW(xform::merge_traces(a, c), std::invalid_argument);
 }
 
@@ -435,7 +445,7 @@ TEST(Transforms, PipelineComposesPasses) {
 // ---------------------------------------------------------------------
 
 TEST(Inspect, CountsAndMatrixAgreeWithTheTrace) {
-  const Trace t = record_workload("hotspot", tiny_params());
+  const Trace t = record_workload("hotspot", tiny_synth());
   const auto insp = xform::inspect_trace(t);
   EXPECT_EQ(insp.num_events, t.events.size());
   EXPECT_EQ(insp.num_nodes, 16);
@@ -476,7 +486,7 @@ TEST(Inspect, EmptyTraceFormats) {
 }
 
 TEST(Inspect, JsonExportCarriesTheFullInspection) {
-  const Trace t = record_workload("hotspot", tiny_params());
+  const Trace t = record_workload("hotspot", tiny_synth());
   const auto insp = xform::inspect_trace(t, 8);
   const std::string json = xform::format_inspection_json(t, insp);
 
@@ -580,20 +590,21 @@ struct RecordAndLog final : noc::FlitObserver {
 };
 
 TEST(XyReplay, RecordingsReplayBitIdentically) {
-  WorkloadParams p = tiny_params();
-  p.network = "xy";
-  p.injection_rate = 0.4;
+  RunRequest req = tiny_synth();
+  req.synthetic->network = "xy";
+  req.synthetic->injection_rate = 0.4;
 
   // Record an XY run and log its deliveries.
   const Workload& w = WorkloadRegistry::instance().at("transpose");
   TraceRecorder rec(4, 4);
-  rec.set_net_config(w.net_config(p));
+  rec.set_net_config(w.net_config(req));
   DeliveryLog orig;
   RecordAndLog both;
   both.rec = &rec;
   both.log = &orig;
-  const WorkloadResult recorded = w.run(p, &both);
-  const Trace trace = rec.take(recorded.cycles, "transpose", p.seed);
+  RunContext ctx{&both, nullptr};
+  const RunResult recorded = w.run(req, ctx);
+  const Trace trace = rec.take(recorded.cycles, "transpose", req.seed);
   ASSERT_FALSE(trace.events.empty());
   ASSERT_EQ(trace.meta.net.kind, TraceNetKind::kBufferedXy);
 
@@ -619,17 +630,16 @@ TEST(XyReplay, RecordingsReplayBitIdentically) {
 }
 
 TEST(XyReplay, RegistryReplayRebuildsTheXyFabricFromTheHeader) {
-  WorkloadParams p = tiny_params();
-  p.network = "xy";
-  p.xy_router.input_buffer_depth = 6;
-  const Trace t = record_workload("neighbor", p);
+  RunRequest req = tiny_synth();
+  req.synthetic->network = "xy";
+  req.synthetic->xy_router.input_buffer_depth = 6;
+  const Trace t = record_workload("neighbor", req);
   EXPECT_EQ(t.meta.net.input_buffer_depth, 6);
   const std::string path = testing::TempDir() + "/medea_xy_replay.bin";
   save_trace(t, path);
 
-  WorkloadParams rp;  // defaults; the header must decide the fabric
-  rp.trace_path = path;
-  const WorkloadResult r = run_by_name("replay", rp);
+  // Default machine config; the header must decide the fabric.
+  const RunResult r = run_by_name("replay", replay_req(path));
   EXPECT_EQ(r.flits_delivered, t.events.size());
   EXPECT_TRUE(r.verified_ok);
   EXPECT_EQ(r.cycles, t.meta.total_cycles);
@@ -640,7 +650,7 @@ TEST(XyReplay, RegistryReplayRebuildsTheXyFabricFromTheHeader) {
 // ---------------------------------------------------------------------
 
 TEST(RateSweep, SweepFansOutScaledReplays) {
-  const Trace t = record_workload("uniform", tiny_params());
+  const Trace t = record_workload("uniform", tiny_synth());
   const std::string path = testing::TempDir() + "/medea_scale_sweep.bin";
   save_trace(t, path);
 
@@ -681,10 +691,10 @@ TEST(Acceptance, JacobiTraceScalesRemapsMergesAndRoundTrips) {
   replay_cleanly(r);
 
   // Merge with a second trace: valid + clean replay.
-  WorkloadParams p2 = tiny_params();
-  p2.config.num_compute_cores = 4;
-  p2.seed = 11;
-  const Trace t2 = record_workload("uniform", p2);
+  RunRequest req2 = tiny_synth();
+  req2.machine.num_compute_cores = 4;
+  req2.seed = 11;
+  const Trace t2 = record_workload("uniform", req2);
   const Trace m = xform::merge_traces(t, t2);
   validate_trace(m);
   replay_cleanly(m);

@@ -1,5 +1,6 @@
 /// Tests for the workload engine: the registry (every scenario runnable
-/// by name, including on an 8x8 torus), trace record/replay determinism,
+/// by name, including on an 8x8 torus), the RunRequest API (validation,
+/// the deprecated flat-params shim), trace record/replay determinism,
 /// and registry-driven DSE sweeps.
 
 #include <gtest/gtest.h>
@@ -48,13 +49,36 @@ struct RecordAndLog final : noc::FlitObserver {
   }
 };
 
-WorkloadParams tiny_params() {
-  WorkloadParams p;
-  p.config.num_compute_cores = 2;
-  p.size = 8;
-  p.flits_per_node = 50;
-  p.injection_rate = 0.3;
-  return p;
+core::MedeaConfig tiny_machine() {
+  core::MedeaConfig cfg;
+  cfg.num_compute_cores = 2;
+  return cfg;
+}
+
+RunRequest tiny_synth() {
+  RunRequest req;
+  req.machine = tiny_machine();
+  SyntheticParams sp;
+  sp.injection_rate = 0.3;
+  sp.flits_per_node = 50;
+  req.synthetic = sp;
+  return req;
+}
+
+RunRequest tiny_app() {
+  RunRequest req;
+  req.machine = tiny_machine();
+  AppParams ap;
+  ap.size = 8;
+  req.app = ap;
+  return req;
+}
+
+/// The tiny request whose section matches `name`'s kind.
+RunRequest tiny_for(const std::string& name) {
+  return WorkloadRegistry::instance().at(name).kind() == WorkloadKind::kApp
+             ? tiny_app()
+             : tiny_synth();
 }
 
 // ---------------------------------------------------------------------
@@ -75,9 +99,23 @@ TEST(Registry, HasAllBuiltins) {
   }
 }
 
+TEST(Registry, KindsPartitionTheBuiltins) {
+  const auto& reg = WorkloadRegistry::instance();
+  for (const char* name : {"jacobi", "reduction", "alltoall"}) {
+    EXPECT_EQ(reg.at(name).kind(), WorkloadKind::kApp) << name;
+    EXPECT_FALSE(reg.at(name).noc_only()) << name;
+  }
+  for (const char* name : {"uniform", "hotspot", "bitrev"}) {
+    EXPECT_EQ(reg.at(name).kind(), WorkloadKind::kSynthetic) << name;
+    EXPECT_TRUE(reg.at(name).noc_only()) << name;
+  }
+  EXPECT_EQ(reg.at("replay").kind(), WorkloadKind::kReplay);
+  EXPECT_TRUE(reg.at("replay").noc_only());
+}
+
 TEST(Registry, UnknownNameHandling) {
   EXPECT_EQ(WorkloadRegistry::instance().find("no-such-workload"), nullptr);
-  EXPECT_THROW(run_by_name("no-such-workload", tiny_params()),
+  EXPECT_THROW(run_by_name("no-such-workload", RunRequest{}),
                std::invalid_argument);
 }
 
@@ -85,31 +123,47 @@ TEST(Registry, EveryBuiltinRunsByName) {
   for (const char* name :
        {"jacobi", "jacobi-sync", "jacobi-sm", "reduction", "reduction-sm",
         "alltoall", "uniform", "hotspot", "transpose", "neighbor", "bitrev"}) {
-    WorkloadParams p = tiny_params();
-    p.verify = true;
-    const WorkloadResult r = run_by_name(name, p);
+    RunRequest req = tiny_for(name);
+    req.verify = true;
+    const RunResult r = run_by_name(name, req);
     EXPECT_GT(r.cycles, 0u) << name;
     EXPECT_GT(r.flits_delivered, 0u) << name;
     EXPECT_TRUE(r.verified_ok) << name;
     EXPECT_FALSE(r.metric_name.empty()) << name;
+    // Measurement collection is on by default: every run — app or
+    // NoC-only — reports a latency distribution through the observer.
+    EXPECT_GT(r.measurement.latency.count, 0u) << name;
+    EXPECT_GE(r.measurement.latency.p99, r.measurement.latency.p50) << name;
+    EXPECT_GT(r.measurement.accepted_throughput, 0.0) << name;
+  }
+}
+
+TEST(Registry, DisengagedSectionMeansDefaults) {
+  // A bare request runs every kind (except replay) on its defaults.
+  RunRequest req;
+  req.machine = tiny_machine();
+  for (const char* name : {"jacobi", "neighbor"}) {
+    const RunResult r = run_by_name(name, req);
+    EXPECT_GT(r.cycles, 0u) << name;
+    EXPECT_GT(r.flits_delivered, 0u) << name;
   }
 }
 
 TEST(Registry, RunConfiguredUsesConfigWorkloadName) {
-  WorkloadParams p = tiny_params();
-  p.config.workload = "neighbor";
-  const WorkloadResult r = run_configured(p);
+  RunRequest req = tiny_synth();
+  req.machine.workload = "neighbor";
+  const RunResult r = run_configured(req);
   EXPECT_EQ(r.flits_delivered, 16u * 50u);  // neighbor never self-addresses
 }
 
 TEST(Registry, SyntheticWorkloadsRunOnEightByEightTorus) {
   for (const char* name :
        {"uniform", "hotspot", "transpose", "neighbor", "bitrev"}) {
-    WorkloadParams p = tiny_params();
-    p.config.noc_width = 8;
-    p.config.noc_height = 8;
-    p.flits_per_node = 20;
-    const WorkloadResult r = run_by_name(name, p);
+    RunRequest req = tiny_synth();
+    req.machine.noc_width = 8;
+    req.machine.noc_height = 8;
+    req.synthetic->flits_per_node = 20;
+    const RunResult r = run_by_name(name, req);
     EXPECT_GT(r.cycles, 0u) << name;
     EXPECT_GT(r.flits_delivered, 0u) << name;
     EXPECT_TRUE(r.verified_ok) << name;
@@ -118,12 +172,12 @@ TEST(Registry, SyntheticWorkloadsRunOnEightByEightTorus) {
 
 TEST(Registry, JacobiRunsOnEightByEightTorus) {
   // 64 nodes needs the widened 8-bit SRCID field.
-  WorkloadParams p = tiny_params();
-  p.config.noc_width = 8;
-  p.config.noc_height = 8;
-  p.config.num_compute_cores = 4;
-  p.verify = true;
-  const WorkloadResult r = run_by_name("jacobi", p);
+  RunRequest req = tiny_app();
+  req.machine.noc_width = 8;
+  req.machine.noc_height = 8;
+  req.machine.num_compute_cores = 4;
+  req.verify = true;
+  const RunResult r = run_by_name("jacobi", req);
   EXPECT_GT(r.cycles, 0u);
   EXPECT_TRUE(r.verified_ok);
 }
@@ -132,19 +186,18 @@ TEST(Registry, BitrevIsAPermutationOnPowerOfTwoFabrics) {
   // On 16 nodes the 4-bit reversal is a bijection; palindromic ids
   // (0, 6, 9, 15) map to themselves and those slots are dropped by the
   // endpoint — verified_ok checks everything sent was received.
-  WorkloadParams p = tiny_params();
-  const WorkloadResult r = run_by_name("bitrev", p);
+  const RunResult r = run_by_name("bitrev", tiny_synth());
   EXPECT_TRUE(r.verified_ok);
   EXPECT_GT(r.flits_delivered, 0u);
 }
 
 TEST(Registry, AlltoallVerifiesEveryReceivedWord) {
-  WorkloadParams p = tiny_params();
-  p.config.num_compute_cores = 4;
-  p.size = 6;  // words per pair
-  p.iterations = 2;
-  p.verify = true;
-  const WorkloadResult r = run_by_name("alltoall", p);
+  RunRequest req = tiny_app();
+  req.machine.num_compute_cores = 4;
+  req.app->size = 6;  // words per pair
+  req.app->iterations = 2;
+  req.verify = true;
+  const RunResult r = run_by_name("alltoall", req);
   EXPECT_TRUE(r.verified_ok);
   EXPECT_GT(r.cycles, 0u);
   EXPECT_GT(r.flits_delivered, 0u);
@@ -153,25 +206,117 @@ TEST(Registry, AlltoallVerifiesEveryReceivedWord) {
 
 TEST(Registry, SyntheticWorkloadsRunOnTheXyFabric) {
   for (const char* name : {"uniform", "bitrev"}) {
-    WorkloadParams p = tiny_params();
-    p.network = "xy";
-    p.flits_per_node = 30;
-    const WorkloadResult r = run_by_name(name, p);
+    RunRequest req = tiny_synth();
+    req.synthetic->network = "xy";
+    req.synthetic->flits_per_node = 30;
+    const RunResult r = run_by_name(name, req);
     EXPECT_GT(r.cycles, 0u) << name;
     EXPECT_GT(r.flits_delivered, 0u) << name;
     EXPECT_TRUE(r.verified_ok) << name;
   }
-  WorkloadParams p = tiny_params();
-  p.network = "nonsense";
-  EXPECT_THROW(run_by_name("uniform", p), std::invalid_argument);
+  RunRequest req = tiny_synth();
+  req.synthetic->network = "nonsense";
+  EXPECT_THROW(run_by_name("uniform", req), std::invalid_argument);
 }
 
 TEST(Registry, SyntheticRunsAreDeterministic) {
-  const WorkloadResult a = run_by_name("uniform", tiny_params());
-  const WorkloadResult b = run_by_name("uniform", tiny_params());
+  const RunResult a = run_by_name("uniform", tiny_synth());
+  const RunResult b = run_by_name("uniform", tiny_synth());
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.flits_delivered, b.flits_delivered);
   EXPECT_EQ(a.metric, b.metric);
+  EXPECT_EQ(a.measurement, b.measurement);
+}
+
+// ---------------------------------------------------------------------
+// RunRequest validation: misapplied knobs fail loudly
+// ---------------------------------------------------------------------
+
+TEST(RunApi, ReplaySectionOnSyntheticWorkloadThrows) {
+  RunRequest req = tiny_synth();
+  req.replay = ReplayParams{};
+  req.replay->trace_path = "/tmp/whatever.bin";
+  EXPECT_THROW(run_by_name("uniform", req), std::invalid_argument);
+}
+
+TEST(RunApi, SyntheticSectionOnAppThrows) {
+  RunRequest req = tiny_app();
+  req.synthetic = SyntheticParams{};  // engaged = explicit intent
+  EXPECT_THROW(run_by_name("jacobi", req), std::invalid_argument);
+}
+
+TEST(RunApi, AppSectionOnReplayThrows) {
+  RunRequest req;
+  req.app = AppParams{};
+  req.replay = ReplayParams{};
+  req.replay->trace_path = "/tmp/whatever.bin";
+  EXPECT_THROW(run_by_name("replay", req), std::invalid_argument);
+}
+
+TEST(RunApi, PhasedMeasurementOnAppThrows) {
+  RunRequest req = tiny_app();
+  req.measurement.phased = true;
+  EXPECT_THROW(run_by_name("jacobi", req), std::invalid_argument);
+}
+
+TEST(RunApi, ValidationErrorsNameTheProblem) {
+  RunRequest req = tiny_synth();
+  req.app = AppParams{};
+  try {
+    run_by_name("uniform", req);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("uniform"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("app"), std::string::npos) << msg;
+  }
+}
+
+TEST(RunApi, CollectOffLeavesMeasurementEmpty) {
+  RunRequest req = tiny_synth();
+  req.measurement.collect = false;
+  const RunResult r = run_by_name("uniform", req);
+  EXPECT_EQ(r.measurement.latency.count, 0u);
+  EXPECT_EQ(r.measurement.accepted_throughput, 0.0);
+  EXPECT_GT(r.flits_delivered, 0u);  // the run itself was unaffected
+}
+
+// ---------------------------------------------------------------------
+// Deprecated flat-params shim
+// ---------------------------------------------------------------------
+
+TEST(RunApi, ShimMapsOntoTheMatchingSection) {
+  WorkloadParams p;
+  p.config.num_compute_cores = 2;
+  p.size = 8;
+  p.injection_rate = 0.3;
+  p.flits_per_node = 50;
+
+  const auto& reg = WorkloadRegistry::instance();
+  const RunRequest app = to_run_request(reg.at("jacobi"), p);
+  ASSERT_TRUE(app.app.has_value());
+  EXPECT_FALSE(app.synthetic.has_value());
+  EXPECT_FALSE(app.replay.has_value());
+  EXPECT_EQ(app.app->size, 8);
+
+  const RunRequest synth = to_run_request(reg.at("uniform"), p);
+  ASSERT_TRUE(synth.synthetic.has_value());
+  EXPECT_FALSE(synth.app.has_value());
+  EXPECT_EQ(synth.synthetic->injection_rate, 0.3);
+  EXPECT_EQ(synth.synthetic->flits_per_node, 50);
+}
+
+TEST(RunApi, ShimRunsMatchNativeRequests) {
+  WorkloadParams p;
+  p.config.num_compute_cores = 2;
+  p.injection_rate = 0.3;
+  p.flits_per_node = 50;
+  const RunResult via_shim = run_by_name("uniform", p);
+  const RunResult native = run_by_name("uniform", tiny_synth());
+  EXPECT_EQ(via_shim.cycles, native.cycles);
+  EXPECT_EQ(via_shim.flits_delivered, native.flits_delivered);
+  EXPECT_EQ(via_shim.metric, native.metric);
+  EXPECT_EQ(via_shim.measurement, native.measurement);
 }
 
 // ---------------------------------------------------------------------
@@ -182,23 +327,25 @@ TEST(Registry, SyntheticRunsAreDeterministic) {
 /// the recording: same per-flit delivery cycles and per-node order, and
 /// (across two replays) bit-identical everything.
 void check_record_replay(const std::string& name,
-                         const WorkloadParams& p = tiny_params()) {
+                         const RunRequest& req = tiny_synth()) {
   const Workload& w = WorkloadRegistry::instance().at(name);
   // Reference run without any observer attached.
-  const sim::Cycle ref_cycles = w.run(p, nullptr).cycles;
+  RunContext none{};
+  const sim::Cycle ref_cycles = w.run(req, none).cycles;
 
   // Record, logging deliveries of the recorded run with a fan-out
   // observer (replicates record_workload(), plus delivery capture).
   // The observer must not perturb simulation results.
-  TraceRecorder rec2(p.config.noc_width, p.config.noc_height);
-  rec2.set_net_config(TraceNetConfig::from(p.config.router));
+  TraceRecorder rec2(req.machine.noc_width, req.machine.noc_height);
+  rec2.set_net_config(TraceNetConfig::from(req.machine.router));
   DeliveryLog orig;
   RecordAndLog both;
   both.rec = &rec2;
   both.log = &orig;
-  WorkloadResult recorded = w.run(p, &both);
+  RunContext ctx{&both, nullptr};
+  RunResult recorded = w.run(req, ctx);
   EXPECT_EQ(recorded.cycles, ref_cycles) << "recording perturbed the run";
-  const Trace trace = rec2.take(recorded.cycles, name, p.seed);
+  const Trace trace = rec2.take(recorded.cycles, name, req.seed);
   ASSERT_FALSE(trace.events.empty());
   EXPECT_EQ(orig.v.size(), trace.events.size());
 
@@ -207,7 +354,7 @@ void check_record_replay(const std::string& name,
     sim::Scheduler sched;
     noc::Network net(sched,
                      noc::TorusGeometry(trace.meta.width, trace.meta.height),
-                     p.config.router, trace.meta.seed);
+                     req.machine.router, trace.meta.seed);
     net.set_observer(&log);
     return run_replay(sched, net, trace);
   };
@@ -229,7 +376,9 @@ void check_record_replay(const std::string& name,
   EXPECT_LE(r1.cycles, ref_cycles);
 }
 
-TEST(TraceReplay, JacobiReplayIsDeterministic) { check_record_replay("jacobi"); }
+TEST(TraceReplay, JacobiReplayIsDeterministic) {
+  check_record_replay("jacobi", tiny_app());
+}
 
 TEST(TraceReplay, UniformRandomReplayIsDeterministic) {
   check_record_replay("uniform");
@@ -239,28 +388,29 @@ TEST(TraceReplay, RandomTieBreakReplayUsesRecordedSeed) {
   // With random_tie_break routers the deflection choices are RNG-driven,
   // so bit-identical replay requires re-seeding the NoC from the trace
   // header (meta.seed), not from whatever the replaying party defaults to.
-  WorkloadParams p = tiny_params();
-  p.config.router.random_tie_break = true;
-  p.injection_rate = 0.9;  // saturate so deflections actually happen
-  p.seed = 7;
-  check_record_replay("uniform", p);
+  RunRequest req = tiny_synth();
+  req.machine.router.random_tie_break = true;
+  req.synthetic->injection_rate = 0.9;  // saturate so deflections happen
+  req.seed = 7;
+  check_record_replay("uniform", req);
 }
 
 TEST(TraceReplay, ReplayWorkloadHonorsRecordedSeed) {
   // Same property through the registry path (ReplayWorkload must seed
-  // from the header; the replay params leave seed at its default).
-  WorkloadParams p = tiny_params();
-  p.config.router.random_tie_break = true;
-  p.injection_rate = 0.9;
-  p.seed = 7;
-  const Trace t = record_workload("uniform", p);
+  // from the header; the replay request leaves seed at its default).
+  RunRequest req = tiny_synth();
+  req.machine.router.random_tie_break = true;
+  req.synthetic->injection_rate = 0.9;
+  req.seed = 7;
+  const Trace t = record_workload("uniform", req);
   const std::string path = testing::TempDir() + "/medea_seeded_replay.bin";
   save_trace(t, path);
 
-  WorkloadParams rp;  // default seed (1) — must not matter
-  rp.config.router.random_tie_break = true;
-  rp.trace_path = path;
-  const WorkloadResult r = run_by_name("replay", rp);
+  RunRequest rr;  // default seed (1) — must not matter
+  rr.machine.router.random_tie_break = true;
+  rr.replay = ReplayParams{};
+  rr.replay->trace_path = path;
+  const RunResult r = run_by_name("replay", rr);
   EXPECT_EQ(r.flits_delivered, t.events.size());
   EXPECT_TRUE(r.verified_ok);
   EXPECT_EQ(r.cycles, t.meta.total_cycles)
@@ -268,16 +418,17 @@ TEST(TraceReplay, ReplayWorkloadHonorsRecordedSeed) {
 }
 
 TEST(TraceReplay, AppliedSeedReachesFullSystemRuns) {
-  // --seed must actually change full-system runs (it seeds the NoC's
+  // seed must actually change full-system runs (it seeds the NoC's
   // per-router tie-break RNGs), and the trace header must stamp the
   // seed the run really used.  Eight cores converging on the MPMMU
   // guarantee deflections, so random_tie_break draws do happen.
-  WorkloadParams a;
-  a.config.num_compute_cores = 8;
-  a.config.router.random_tie_break = true;
-  a.size = 16;
+  RunRequest a;
+  a.machine.num_compute_cores = 8;
+  a.machine.router.random_tie_break = true;
+  a.app = AppParams{};
+  a.app->size = 16;
   a.seed = 3;
-  WorkloadParams b = a;
+  RunRequest b = a;
   b.seed = 4;
   const Trace ta = record_workload("jacobi", a);
   const Trace tb = record_workload("jacobi", b);
@@ -290,35 +441,36 @@ TEST(TraceReplay, RecordingAReplayPreservesTheTrace) {
   // Recording a replay of an 8x8 trace under a default (4x4) config
   // must size the recorder from the trace's geometry and reproduce the
   // original injection schedule exactly.
-  WorkloadParams p = tiny_params();
-  p.config.noc_width = 8;
-  p.config.noc_height = 8;
-  p.flits_per_node = 30;
-  const Trace original = record_workload("uniform", p);
+  RunRequest req = tiny_synth();
+  req.machine.noc_width = 8;
+  req.machine.noc_height = 8;
+  req.synthetic->flits_per_node = 30;
+  const Trace original = record_workload("uniform", req);
   const std::string path = testing::TempDir() + "/medea_rerecord.bin";
   save_trace(original, path);
 
-  WorkloadParams rp;  // default 4x4 config: trace geometry must win
-  rp.trace_path = path;
-  const Trace rerecorded = record_workload("replay", rp);
+  RunRequest rr;  // default 4x4 config: trace geometry must win
+  rr.replay = ReplayParams{};
+  rr.replay->trace_path = path;
+  const Trace rerecorded = record_workload("replay", rr);
   EXPECT_EQ(rerecorded.meta.width, 8);
   EXPECT_EQ(rerecorded.meta.height, 8);
   EXPECT_EQ(rerecorded.events, original.events);
 }
 
 TEST(TraceReplay, ReplayWorkloadRunsFromDisk) {
-  WorkloadParams p = tiny_params();
-  const Trace t = record_workload("transpose", p);
+  const Trace t = record_workload("transpose", tiny_synth());
   EXPECT_EQ(t.meta.workload, "transpose");
   EXPECT_GT(t.meta.total_cycles, 0u);
 
   const std::string path = testing::TempDir() + "/medea_replay_ut.bin";
   save_trace(t, path);
 
-  WorkloadParams rp;
-  rp.trace_path = path;
-  const WorkloadResult a = run_by_name("replay", rp);
-  const WorkloadResult b = run_by_name("replay", rp);
+  RunRequest rr;
+  rr.replay = ReplayParams{};
+  rr.replay->trace_path = path;
+  const RunResult a = run_by_name("replay", rr);
+  const RunResult b = run_by_name("replay", rr);
   EXPECT_EQ(a.flits_delivered, t.events.size());
   EXPECT_TRUE(a.verified_ok);
   EXPECT_EQ(a.cycles, b.cycles);
@@ -326,12 +478,14 @@ TEST(TraceReplay, ReplayWorkloadRunsFromDisk) {
 }
 
 TEST(TraceReplay, ReplayWithoutTracePathThrows) {
-  EXPECT_THROW(run_by_name("replay", tiny_params()), std::invalid_argument);
+  EXPECT_THROW(run_by_name("replay", RunRequest{}), std::invalid_argument);
+  RunRequest rr;
+  rr.replay = ReplayParams{};  // engaged but empty path
+  EXPECT_THROW(run_by_name("replay", rr), std::invalid_argument);
 }
 
 TEST(TraceReplay, GeometryMismatchThrows) {
-  WorkloadParams p = tiny_params();
-  const Trace t = record_workload("neighbor", p);
+  const Trace t = record_workload("neighbor", tiny_synth());
   sim::Scheduler sched;
   noc::Network net(sched, noc::TorusGeometry(2, 2));
   EXPECT_THROW(TraceReplayer(sched, net, t), std::runtime_error);
@@ -355,12 +509,38 @@ TEST(SweepWorkloads, SweepRunsSyntheticWorkload) {
     EXPECT_EQ(pt.metric_name, "avg_flit_latency");
     EXPECT_GT(pt.cycles_per_iteration, 0.0);
     EXPECT_GT(pt.area_mm2, 0.0);
+    // Non-load-axis points still collect whole-run latency.
+    EXPECT_GT(pt.measurement.latency.count, 0u);
   }
 }
 
+TEST(SweepWorkloads, LoadAxisAddsPhasedMeasuredPoints) {
+  dse::SweepSpec spec;
+  spec.workload = "uniform";
+  spec.cores = {2};
+  spec.cache_kb = {2};
+  spec.policies = {mem::WritePolicy::kWriteBack};
+  spec.injection_rates = {0.05, 0.10};
+  spec.measurement.warmup_cycles = 200;
+  spec.measurement.measure_cycles = 512;
+  spec.threads = 1;
+  const auto pts = dse::run_sweep(spec);
+  ASSERT_EQ(pts.size(), 2u);
+  for (const auto& pt : pts) {
+    EXPECT_EQ(pt.metric_name, "measured_avg_flit_latency");
+    EXPECT_GT(pt.injection_rate, 0.0);
+    EXPECT_GT(pt.measurement.latency.count, 0u);
+    EXPECT_GT(pt.measurement.offered_load, 0.0);
+    EXPECT_NE(pt.label.find("_l"), std::string::npos) << pt.label;
+  }
+  // Twice the offered load: the fabric (far below saturation) accepts
+  // roughly twice the throughput.
+  EXPECT_GT(pts[1].measurement.accepted_throughput,
+            pts[0].measurement.accepted_throughput);
+}
+
 TEST(SweepWorkloads, SweepRunsTraceReplay) {
-  WorkloadParams p = tiny_params();
-  const Trace t = record_workload("hotspot", p);
+  const Trace t = record_workload("hotspot", tiny_synth());
   const std::string path = testing::TempDir() + "/medea_sweep_replay.bin";
   save_trace(t, path);
 
