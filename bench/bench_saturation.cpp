@@ -16,11 +16,13 @@
 /// 4x4 torus): this is a trend bench, not a paper-grade study.
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "harness.h"
 #include "workload/saturation.h"
+#include "workload/timeline.h"
 #include "workload/workload.h"
 
 using namespace medea;
@@ -65,6 +67,30 @@ int main(int argc, char** argv) {
       row.metric("offered_load", m.offered_load);
       row.metric("accepted_throughput", m.accepted_throughput);
       row.metric("drained", m.drained ? 1.0 : 0.0);
+      report.add(std::move(row));
+    }
+
+    // Time-resolved telemetry near the saturation knee: one sampled
+    // phased run, rolled up into timeline_* metrics (peak windowed
+    // deflection rate, peak flits/cycle, ...) so trend runs catch
+    // transient congestion the end-of-run scalars average away.  The
+    // knee load differs per fabric (deflection saturates earlier).
+    {
+      const double knee = std::string(net) == "xy" ? 0.85 : 0.70;
+      workload::RunRequest req = spec.base;
+      req.synthetic->injection_rate = knee;
+      req.measurement.phased = true;
+      req.telemetry.sample_every = 256;
+      std::map<std::string, double> summary;
+      char label[64];
+      std::snprintf(label, sizeof(label), "uniform/%s/knee_timeline", net);
+      auto row = bench::run_case(
+          label, cfg + ", sampled every 256 @ knee", report.options(), [&] {
+            const workload::RunResult r = workload::run_by_name("uniform", req);
+            summary = workload::timeline_summary(r.timeline);
+            return r.cycles;
+          });
+      for (const auto& [key, value] : summary) row.metric(key, value);
       report.add(std::move(row));
     }
 

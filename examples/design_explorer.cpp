@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   spec.cores.clear();
   for (int c = 2; c <= max_cores; ++c) spec.cores.push_back(c);
   spec.cache_kb = {2, 4, 8, 16, 32};
+  spec.progress = true;  // live points/sec + ETA line on stderr
 
   std::printf("exploring %zu design points (%dx%d Jacobi)...\n",
               spec.cores.size() * spec.cache_kb.size() * spec.policies.size(),

@@ -19,6 +19,7 @@
 ///   run_workload uniform --width=8 --height=8 --injection-rate=0.2
 ///   run_workload uniform --phased --process=onoff --measure=8192
 ///   run_workload uniform --sweep-load --loads=0.05,0.15,0.25 --json=sat.json
+///   run_workload uniform --phased --timeline=tl.json --perfetto=trace.json
 ///   run_workload bitrev --network=xy --record=xy.mdtr
 ///   run_workload jacobi --size=30 --record=jacobi.mdtr
 ///   run_workload replay --trace=jacobi.mdtr --trace-scale=2.0
@@ -32,7 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/telemetry.h"
 #include "workload/saturation.h"
+#include "workload/timeline.h"
 #include "workload/workload.h"
 
 using namespace medea;
@@ -51,6 +54,10 @@ struct Cli {
   bool stats = false;
   std::string record_path;
   std::string json_path;
+  // --timeline/--perfetto telemetry exports
+  std::string timeline_path;
+  std::string timeline_csv_path;
+  std::string perfetto_path;
   // --sweep-load mode
   bool sweep = false;
   workload::LoadSweepSpec sweep_spec;
@@ -205,6 +212,23 @@ const std::vector<Flag>& flag_table() {
          c.req.measurement.drain_limit =
              static_cast<sim::Cycle>(std::atoll(v));
        }},
+
+      // --- telemetry (TelemetryParams + exporters) ---
+      {"telemetry", "--sample-every", "", "N",
+       "snapshot stats every N cycles (default 1024 when a telemetry "
+       "output below is requested, else off)",
+       [](Cli& c, const char* v) {
+         c.req.telemetry.sample_every = static_cast<sim::Cycle>(std::atoll(v));
+       }},
+      {"telemetry", "--timeline", "", "FILE",
+       "write the sampled time-series as JSON (medea-timeline-v1)",
+       [](Cli& c, const char* v) { c.timeline_path = v; }},
+      {"telemetry", "--timeline-csv", "", "FILE",
+       "write the sampled time-series as CSV",
+       [](Cli& c, const char* v) { c.timeline_csv_path = v; }},
+      {"telemetry", "--perfetto", "", "FILE",
+       "write a Chrome/Perfetto trace (open in chrome://tracing)",
+       [](Cli& c, const char* v) { c.perfetto_path = v; }},
 
       // --- modes & output ---
       {"output", "--record", "", "FILE", "record the run's flit trace",
@@ -405,6 +429,18 @@ int main(int argc, char** argv) {
   }
   cli.req.machine.workload = name;
 
+  // Telemetry outputs imply sampling; pick a default cadence when the
+  // user asked for an export but not a rate.
+  const bool wants_telemetry = !cli.timeline_path.empty() ||
+                               !cli.timeline_csv_path.empty() ||
+                               !cli.perfetto_path.empty();
+  if (wants_telemetry && cli.req.telemetry.sample_every == 0) {
+    cli.req.telemetry.sample_every = 1024;
+  }
+  if (!cli.perfetto_path.empty()) {
+    telemetry::HostProfiler::instance().set_enabled(true);
+  }
+
   try {
     if (cli.sweep) return run_sweep_mode(name, cli);
 
@@ -416,6 +452,7 @@ int main(int argc, char** argv) {
       std::printf("recorded %zu injection events to %s\n", t.events.size(),
                   cli.record_path.c_str());
     } else {
+      telemetry::ProfileScope scope("run " + name, "sim");
       res = workload::run_by_name(name, cli.req);
     }
     std::printf(
@@ -427,6 +464,35 @@ int main(int argc, char** argv) {
                        : "");
     print_measurement(res.measurement);
     if (cli.stats) std::fputs(res.stats.to_string().c_str(), stdout);
+    if (wants_telemetry) {
+      const workload::Workload& w =
+          workload::WorkloadRegistry::instance().at(name);
+      const auto [tw, th] = w.noc_dims(cli.req);
+      workload::TimelineMeta meta;
+      meta.workload = name;
+      meta.seed = cli.req.seed;
+      meta.noc_width = tw;
+      meta.noc_height = th;
+      meta.measurement = res.measurement;
+      const auto dump = [&](const std::string& path, std::string text) {
+        if (path.empty()) return true;
+        if (!write_file(path, text)) {
+          std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+          return false;
+        }
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+      };
+      bool ok = dump(cli.timeline_path,
+                     workload::format_timeline_json(res.timeline, meta));
+      ok = dump(cli.timeline_csv_path,
+                workload::format_timeline_csv(res.timeline)) && ok;
+      ok = dump(cli.perfetto_path,
+                workload::format_chrome_trace(
+                    res.timeline, meta,
+                    telemetry::HostProfiler::instance().spans())) && ok;
+      if (!ok) return 1;
+    }
     if (!cli.json_path.empty()) {
       std::string j = "{\n  \"workload\": \"" + name +
                       "\",\n  \"points\": [\n";

@@ -17,7 +17,15 @@ the last run is reported.  Directories are scanned for BENCH_*.json.
 Cases that export a `p99` metric (e.g. bench_saturation's per-load
 latency rows) additionally get a p99 trend table — tail-latency
 regressions are tracked the same way as sim_speed ones (note the sign:
-p99 going UP is the regression).
+p99 going UP is the regression).  Cases exporting `timeline_*` metrics
+(bench_saturation's sampled knee_timeline rows) get one trend table per
+timeline metric, so transient-congestion regressions the end-of-run
+scalars average away still show up in review.
+
+Runs from older commits may predate a metric (or even the `cycles`
+field): missing keys render as `-` and are excluded from deltas rather
+than raising — a trend across heterogeneous BENCH_*.json vintages must
+always print.
 
 --max-regress=PCT exits non-zero when any matched case's sim_speed
 dropped by more than PCT percent (for CI gating; default: report only).
@@ -49,18 +57,24 @@ def load_runs(inputs):
             except json.JSONDecodeError as e:
                 sys.exit(f"bench_trend: {f}: invalid JSON: {e}")
             for case in doc.get("cases", []):
+                if "name" not in case:  # malformed row: skip, don't crash
+                    continue
                 cases[(doc.get("bench", f.stem), case["name"])] = case
         runs.append((str(path), cases))
     return runs
 
 
 def fmt_speed(speed):
-    return f"{speed / 1e6:10.2f}"
+    return f"{speed / 1e6:10.2f}" if speed is not None else f"{'-':>10}"
+
+
+def metric_of(case, key):
+    """The case's named metric, or None when it doesn't export one."""
+    return case.get("metrics", {}).get(key)
 
 
 def p99_of(case):
-    """The case's p99 metric, or None when it doesn't export one."""
-    return case.get("metrics", {}).get("p99")
+    return metric_of(case, "p99")
 
 
 def print_single(label, cases):
@@ -69,31 +83,49 @@ def print_single(label, cases):
     for (bench, name), c in sorted(cases.items()):
         p99 = p99_of(c)
         p99_cell = f"{p99:8.0f}" if p99 is not None else f"{'-':>8}"
-        print(f"{bench + '/' + name:<44} {fmt_speed(c['sim_speed'])} "
-              f"{c['cycles']:>14.0f} {p99_cell}")
+        cycles = c.get("cycles")
+        cyc_cell = f"{cycles:>14.0f}" if cycles is not None else f"{'-':>14}"
+        print(f"{bench + '/' + name:<44} {fmt_speed(c.get('sim_speed'))} "
+              f"{cyc_cell} {p99_cell}")
 
 
-def print_p99_trend(runs, first, last, keys):
-    """Trend table for cases whose first and last runs both carry p99."""
+def print_metric_trend(runs, first, last, keys, metric, title, decimals=0):
+    """Trend table for one metric over the cases whose first and last
+    runs both carry it; silent when no case does (older runs simply
+    predate the metric)."""
     keys = [k for k in keys
-            if p99_of(first[k]) is not None and p99_of(last[k]) is not None]
+            if metric_of(first[k], metric) is not None
+            and metric_of(last[k], metric) is not None]
     if not keys:
         return
-    print(f"\n{'p99 latency (cycles)':<44} " + " ".join(
+    print(f"\n{title:<44} " + " ".join(
         f"{Path(label).name[:14]:>14}" for label, _ in runs) + f" {'delta':>8}")
     worst = 0.0
     for key in keys:
         cells = []
         for _, cases in runs:
-            p99 = p99_of(cases.get(key, {}))
-            cells.append(f"{p99:14.0f}" if p99 is not None else f"{'-':>14}")
-        base, cur = p99_of(first[key]), p99_of(last[key])
+            v = metric_of(cases.get(key, {}), metric)
+            cells.append(f"{v:14.{decimals}f}" if v is not None
+                         else f"{'-':>14}")
+        base = metric_of(first[key], metric)
+        cur = metric_of(last[key], metric)
         delta = (cur - base) / base * 100.0 if base > 0 else 0.0
         worst = max(worst, delta)
         bench, name = key
         print(f"{bench + '/' + name:<44} " + " ".join(cells) +
               f" {delta:+7.1f}%")
-    print(f"worst p99 change: {worst:+.1f}% (positive = latency grew)")
+    print(f"worst {metric} change: {worst:+.1f}%")
+
+
+def timeline_metrics(first, last, keys):
+    """All timeline_* metric names present in both the first and last
+    run for at least one common case, sorted."""
+    names = set()
+    for key in keys:
+        a = set(first[key].get("metrics", {}))
+        b = set(last[key].get("metrics", {}))
+        names |= {m for m in a & b if m.startswith("timeline_")}
+    return sorted(names)
 
 
 def main():
@@ -125,8 +157,10 @@ def main():
         cells = []
         for _, cases in runs:
             c = cases.get(key)
-            cells.append(f"{fmt_speed(c['sim_speed']):>14}" if c else f"{'-':>14}")
-        base, cur = first[key]["sim_speed"], last[key]["sim_speed"]
+            cells.append(f"{fmt_speed(c.get('sim_speed')):>14}" if c
+                         else f"{'-':>14}")
+        base = first[key].get("sim_speed", 0.0)
+        cur = last[key].get("sim_speed", 0.0)
         delta = (cur - base) / base * 100.0 if base > 0 else 0.0
         worst = min(worst, delta)
         bench, name = key
@@ -140,7 +174,11 @@ def main():
     for key in only_last:
         print(f"{key[0] + '/' + key[1]:<44} (new in {last_label})")
 
-    print_p99_trend(runs, first, last, keys)
+    print_metric_trend(runs, first, last, keys, "p99",
+                       "p99 latency (cycles)")
+    for metric in timeline_metrics(first, last, keys):
+        print_metric_trend(runs, first, last, keys, metric, metric,
+                           decimals=3)
 
     if args.max_regress is not None and worst < -args.max_regress:
         print(f"\nbench_trend: FAIL: worst sim_speed regression {worst:.1f}% "

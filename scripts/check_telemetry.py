@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Schema-validate telemetry exports (CI gate for the observability leg).
+
+Usage:
+  check_telemetry.py --timeline tl.json [--perfetto trace.json] ...
+
+Validates, with only the standard library:
+  * timeline JSON against the "medea-timeline-v1" shape produced by
+    workload::format_timeline_json — schema tag, rectangular series
+    (every counter/gauge has exactly num_windows values), monotonically
+    increasing sample cycles, heatmap frames of w*h cells;
+  * Chrome/Perfetto trace JSON against the trace_event form produced by
+    workload::format_chrome_trace — a traceEvents array whose events
+    carry the required ph/pid/name fields, "X" spans with non-negative
+    durations, "C" counters with args, and the schema tag in otherData.
+
+Exits non-zero with a one-line reason on the first violation, so a CI
+failure names the broken invariant instead of just "artifact differs".
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"check_telemetry: {path}: {msg}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(path, f"cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(path, f"invalid JSON: {e}")
+
+
+def check_timeline(path):
+    doc = load(path)
+    if doc.get("schema") != "medea-timeline-v1":
+        fail(path, f"schema is {doc.get('schema')!r}, want 'medea-timeline-v1'")
+    for key in ("workload", "sample_every", "num_windows", "sample_cycles",
+                "series", "heatmaps"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+
+    n = doc["num_windows"]
+    cycles = doc["sample_cycles"]
+    if len(cycles) != n:
+        fail(path, f"sample_cycles has {len(cycles)} entries, num_windows={n}")
+    if any(b <= a for a, b in zip(cycles, cycles[1:])):
+        fail(path, "sample_cycles is not strictly increasing")
+    if n > 0 and doc["sample_every"] <= 0:
+        fail(path, "sampled timeline with sample_every <= 0")
+
+    for s in doc["series"]:
+        name = s.get("name", "<unnamed>")
+        if s.get("kind") not in ("counter", "gauge"):
+            fail(path, f"series {name}: kind {s.get('kind')!r}")
+        if ".router." in name:
+            fail(path, f"series {name}: router series must fold into heatmaps")
+        values = s.get("values")
+        if not isinstance(values, list) or len(values) != n:
+            got = len(values) if isinstance(values, list) else type(values)
+            fail(path, f"series {name}: {got} values, want {n} (rectangular)")
+
+    for hm in doc["heatmaps"]:
+        name = hm.get("name", "<unnamed>")
+        w, h = hm.get("width", 0), hm.get("height", 0)
+        if w <= 0 or h <= 0:
+            fail(path, f"heatmap {name}: bad dims {w}x{h}")
+        frames = hm.get("frames")
+        if not isinstance(frames, list) or len(frames) != n:
+            fail(path, f"heatmap {name}: {len(frames or [])} frames, want {n}")
+        for i, frame in enumerate(frames):
+            if len(frame) != w * h:
+                fail(path, f"heatmap {name} frame {i}: {len(frame)} cells, "
+                           f"want {w * h}")
+    print(f"check_telemetry: {path}: OK "
+          f"({n} windows, {len(doc['series'])} series, "
+          f"{len(doc['heatmaps'])} heatmaps)")
+
+
+def check_perfetto(path):
+    doc = load(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents missing or empty")
+    schema = doc.get("otherData", {}).get("schema")
+    if schema != "medea-chrome-trace-v1":
+        fail(path, f"otherData.schema is {schema!r}")
+
+    phases = set()
+    pids = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "C"):
+            fail(path, f"event {i}: unsupported ph {ph!r}")
+        phases.add(ph)
+        if "pid" not in ev or "name" not in ev:
+            fail(path, f"event {i}: missing pid/name")
+        pids.add(ev["pid"])
+        if ph in ("X", "C") and "ts" not in ev:
+            fail(path, f"event {i} ({ev['name']}): missing ts")
+        if ph == "X" and ev.get("dur", -1) < 0:
+            fail(path, f"event {i} ({ev['name']}): X span without dur >= 0")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            fail(path, f"event {i} ({ev['name']}): C counter without args")
+
+    # A loadable trace names its processes and carries real data tracks.
+    names = {e["name"] for e in events if e["ph"] == "M"}
+    if "process_name" not in names:
+        fail(path, "no process_name metadata — trace would render unlabeled")
+    if "C" not in phases:
+        fail(path, "no counter events — sampled run should emit tracks")
+    print(f"check_telemetry: {path}: OK "
+          f"({len(events)} events, pids {sorted(pids)})")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--timeline", action="append", default=[],
+                        metavar="FILE", help="medea-timeline-v1 JSON to check")
+    parser.add_argument("--perfetto", action="append", default=[],
+                        metavar="FILE", help="Chrome trace JSON to check")
+    args = parser.parse_args()
+    if not args.timeline and not args.perfetto:
+        parser.error("nothing to check (pass --timeline and/or --perfetto)")
+    for path in args.timeline:
+        check_timeline(path)
+    for path in args.perfetto:
+        check_perfetto(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,13 @@
 #include "dse/sweep.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 
 #include "core/system.h"
+#include "sim/telemetry.h"
 #include "workload/workload.h"
 
 namespace medea::dse {
@@ -74,7 +78,21 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
       break;
     }
   }
-  const workload::RunResult res = workload::run_workload(w, req);
+  std::ostringstream label;
+  label << cores << "P_" << cache_kb << "k$_" << mem::to_string(policy);
+  if (trace_scale != 1.0) label << "_x" << trace_scale;
+  if (injection_rate >= 0.0) label << "_l" << injection_rate;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  workload::RunResult res;
+  {
+    telemetry::ProfileScope scope("point " + label.str(), "sweep");
+    res = workload::run_workload(w, req);
+  }
+  const double host_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
 
   SweepPoint pt;
   pt.workload = name;
@@ -88,10 +106,7 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
   pt.trace_scale = trace_scale;
   pt.injection_rate = injection_rate;
   pt.measurement = res.measurement;
-  std::ostringstream label;
-  label << cores << "P_" << cache_kb << "k$_" << mem::to_string(policy);
-  if (trace_scale != 1.0) label << "_x" << trace_scale;
-  if (injection_rate >= 0.0) label << "_l" << injection_rate;
+  pt.host_ms = host_ms;
   pt.label = label.str();
   return pt;
 }
@@ -137,6 +152,31 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
   }
   threads = std::min<int>(threads, static_cast<int>(jobs.size()));
 
+  // Live progress: one updating stderr line, throttled to ~4 Hz so the
+  // terminal write never becomes the bottleneck of a fast sweep.
+  const auto sweep_t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::int64_t> last_print_ms{-1000};
+  const auto progress_line = [&](std::size_t d, bool final_line) {
+    const std::int64_t ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - sweep_t0)
+            .count();
+    if (!final_line) {
+      std::int64_t prev = last_print_ms.load(std::memory_order_relaxed);
+      if (ms - prev < 250) return;
+      // One printer at a time; losers just skip this update.
+      if (!last_print_ms.compare_exchange_strong(prev, ms)) return;
+    }
+    const double secs = static_cast<double>(ms) / 1000.0;
+    const double pps = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
+    const double eta =
+        pps > 0.0 ? static_cast<double>(jobs.size() - d) / pps : 0.0;
+    std::fprintf(stderr, "\r[sweep] %zu/%zu points (%.1f pts/s, ETA %.0fs)   %s",
+                 d, jobs.size(), pps, eta, final_line ? "\n" : "");
+    std::fflush(stderr);
+  };
+
   // One task per worker thread over a striped point range (worker t
   // simulates points t, t+threads, t+2*threads, ...), not one async per
   // point: each thread amortises its startup across its whole batch and
@@ -151,6 +191,8 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
       const Job& j = jobs[i];
       out[i] = run_design_point(spec, j.cores, j.cache_kb, j.policy,
                                 j.trace_scale, j.injection_rate);
+      const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (spec.progress) progress_line(d, false);
     }
   };
   if (threads == 1) {
@@ -163,6 +205,7 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     }
     for (auto& th : pool) th.join();
   }
+  if (spec.progress) progress_line(jobs.size(), true);
   return out;
 }
 

@@ -63,6 +63,12 @@ struct SweepSpec {
   int timed_iterations = 1;
   int threads = 0;  ///< 0 = hardware concurrency
   AreaModel area{};
+
+  /// Live progress on stderr while the sweep runs: a single updating
+  /// line with completed/total points, points/sec and ETA — the "is it
+  /// still making progress" signal for long DSE runs.  Off by default
+  /// (library callers and tests want silent sweeps).
+  bool progress = false;
 };
 
 struct SweepPoint {
@@ -84,6 +90,10 @@ struct SweepPoint {
   /// when the run did not collect).  Percentiles feed the saturation
   /// figures the same way cycles feed the Pareto ones.
   workload::MeasurementResult measurement{};
+  /// Host wall-clock time this point took to simulate — the sweep's
+  /// per-point phase timing (also emitted as a ProfileScope span when
+  /// the host profiler is enabled).
+  double host_ms = 0.0;
   std::string label;  ///< e.g. "11P_16k$_WB" (replay scales append "_x<f>",
                       ///< load sweeps "_l<rate>")
 };

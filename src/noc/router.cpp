@@ -28,6 +28,8 @@ DeflectionRouter::DeflectionRouter(sim::Scheduler& sched,
       stats_(net_stats),
       rng_(rng_seed),
       st_delivered_(net_stats.counter("noc.flits_delivered")),
+      st_delivered_here_(net_stats.counter(
+          "noc.router." + std::to_string(geom.node_id(pos)) + ".delivered")),
       st_livelock_(net_stats.counter("noc.livelock_suspects")),
       st_deflections_(net_stats.counter("noc.deflections_total")),
       st_injected_(net_stats.counter("noc.flits_injected")),
@@ -73,6 +75,7 @@ void DeflectionRouter::tick(sim::Cycle now) {
          it != route_set_.end() && ejected < cfg_.eject_per_cycle;) {
       if (it->dst == pos_ && eject_q_.can_push()) {
         ++st_delivered_;
+        ++st_delivered_here_;
         acc_latency_.add(static_cast<double>(now - it->inject_cycle));
         acc_hops_.add(it->hops);
         acc_defl_.add(it->deflections);

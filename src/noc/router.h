@@ -82,6 +82,7 @@ class DeflectionRouter : public sim::Component {
   // Stat handles resolved once at construction; bumping these on the
   // tick path avoids the per-event string-keyed map lookup.
   sim::Stat& st_delivered_;
+  sim::Stat& st_delivered_here_;  ///< per-router series (telemetry heatmaps)
   sim::Stat& st_livelock_;
   sim::Stat& st_deflections_;
   sim::Stat& st_injected_;

@@ -14,6 +14,8 @@ XyRouter::XyRouter(sim::Scheduler& sched, const TorusGeometry& geom, Coord pos,
       cfg_(cfg),
       torus_wrap_(torus_wrap),
       stats_(stats),
+      st_delivered_here_(stats.counter(
+          "xynoc.router." + std::to_string(geom.node_id(pos)) + ".delivered")),
       inject_q_(sched, name() + ".inject",
                 static_cast<std::size_t>(cfg.inject_queue_depth)),
       eject_q_(sched, name() + ".eject",
@@ -96,6 +98,7 @@ void XyRouter::tick(sim::Cycle now) {
       q.pop_front();
       out_used[port] = true;
       stats_.inc("xynoc.flits_delivered");
+      ++st_delivered_here_;
       stats_.sample("xynoc.latency", static_cast<double>(now - f.inject_cycle));
       stats_.sample("xynoc.hops", f.hops);
       if (observer_ != nullptr) observer_->on_deliver(now, node_id_, f);

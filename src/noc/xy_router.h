@@ -81,6 +81,11 @@ class XyRouter : public sim::Component {
   sim::StatSet& stats_;
   FlitObserver* observer_ = nullptr;
 
+  /// Per-router delivery counter resolved once at construction, the
+  /// source of telemetry's spatial ejection heatmaps (the fabric-wide
+  /// counters above it stay string-keyed; this one is on the tick path).
+  sim::Stat& st_delivered_here_;
+
   std::array<sim::Fifo<Flit>*, kNumDirs> in_{};
   std::array<sim::Fifo<Flit>*, kNumDirs> out_{};
   // Internal input buffers (index kNumDirs = local inject staging).

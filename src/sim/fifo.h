@@ -70,10 +70,7 @@ class Fifo : public Committable {
   /// Stage one element; visible to the consumer next cycle.
   void push(T v) {
     assert(can_push() && "Fifo::push on full FIFO");
-    if (!commit_armed_) {
-      sched_.defer_commit(*this);
-      commit_armed_ = true;
-    }
+    arm_commit();
     staged_.push_back(std::move(v));
   }
 
@@ -94,10 +91,7 @@ class Fifo : public Committable {
     T v = std::move(q_.front());
     q_.pop_front();
     ++popped_this_cycle_;
-    if (!commit_armed_) {
-      sched_.defer_commit(*this);
-      commit_armed_ = true;
-    }
+    arm_commit();
     return v;
   }
 
@@ -110,7 +104,7 @@ class Fifo : public Committable {
     for (auto& v : staged_) q_.push_back(std::move(v));
     staged_.clear();
     popped_this_cycle_ = 0;
-    commit_armed_ = false;
+    commit_stamp_ = kNeverCycle;
     if (gained_data && consumer_ != nullptr) {
       sched_.wake_at(*consumer_, sched_.now() + 1);
     }
@@ -122,13 +116,31 @@ class Fifo : public Committable {
   }
 
  private:
+  /// Epoch-stamp commit-list dedup: a busy FIFO takes several pushes and
+  /// pops per cycle (a router pops four links and pushes four), but must
+  /// appear on the scheduler's commit list once.  Stamping the arming
+  /// cycle dedups without searching the list; the duplicates absorbed
+  /// here are counted scheduler-wide (Scheduler::commits_deduped) and
+  /// exported through telemetry.  commit() resets the stamp so a FIFO
+  /// re-armed in the same cycle from outside the run loop (test setup
+  /// code) can never lose its registration.
+  void arm_commit() {
+    const Cycle now = sched_.now();
+    if (commit_stamp_ == now) {
+      sched_.note_commit_dedup();
+      return;
+    }
+    commit_stamp_ = now;
+    sched_.defer_commit(*this);
+  }
+
   Scheduler& sched_;
   std::string name_;
   std::size_t capacity_;
   std::deque<T> q_;
   std::vector<T> staged_;
   std::size_t popped_this_cycle_ = 0;
-  bool commit_armed_ = false;
+  Cycle commit_stamp_ = kNeverCycle;
   mutable bool push_blocked_ = false;
   Component* consumer_ = nullptr;
   Component* producer_ = nullptr;

@@ -190,6 +190,13 @@ bool Scheduler::run(Cycle limit) {
     now_ = t;
     ++active_cycles_;
 
+    // Telemetry sampling point: fires before any component ticks, so
+    // the hook observes end-of-previous-cycle state.  Disabled hooks
+    // keep hook_next_ at kNeverCycle and cost only this compare.
+    if (t >= hook_next_) [[unlikely]] {
+      hook_next_ = hook_->on_cycle(t);
+    }
+
     // Gather every component woken for this cycle, then dispatch.  The
     // gather/dispatch split guarantees that wake_at() calls made inside
     // tick() (which must target t+1 or later) never join this batch.

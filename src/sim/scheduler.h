@@ -44,6 +44,23 @@ namespace medea::sim {
 class Scheduler;
 class Component;
 
+/// Periodic observer of simulated-time progress, for telemetry sampling.
+///
+/// The scheduler calls on_cycle(now) at the top of any dispatched cycle
+/// that has reached the cycle the hook last asked for (before any
+/// component ticks, so the hook sees only state committed in cycles
+/// < now).  The return value is the next cycle of interest; returning
+/// kNeverCycle mutes the hook.  Because the check rides the run loop's
+/// existing cycle advance — one integer compare per *dispatched cycle*,
+/// nothing per wake or per event — an unset hook costs effectively zero
+/// on the kernel hot path, which is what lets telemetry stay compiled in
+/// everywhere and be enabled per run.
+class CycleHook {
+ public:
+  virtual ~CycleHook() = default;
+  virtual Cycle on_cycle(Cycle now) = 0;
+};
+
 namespace detail {
 
 /// Intrusive calendar-bucket link.  Every Component embeds one node (the
@@ -134,7 +151,34 @@ class Scheduler {
 
   /// Register a staged object for commit at the end of the current cycle.
   /// Idempotent per cycle only if the caller guards; cheap either way.
-  void defer_commit(Committable& c) { commit_list_.push_back(&c); }
+  /// Fifo guards with an epoch stamp (one registration per FIFO per
+  /// cycle, however many pushes/pops hit it) and reports the absorbed
+  /// duplicates through note_commit_dedup().
+  void defer_commit(Committable& c) {
+    commit_list_.push_back(&c);
+    ++commit_pushes_;
+  }
+
+  /// A caller-side guard (e.g. Fifo's epoch stamp) absorbed a duplicate
+  /// same-cycle commit registration.
+  void note_commit_dedup() { ++commits_deduped_; }
+
+  /// Commit-list pressure: registrations that reached the list vs
+  /// duplicates absorbed by caller-side epoch stamps.
+  std::uint64_t commit_pushes() const { return commit_pushes_; }
+  std::uint64_t commits_deduped() const { return commits_deduped_; }
+
+  /// Entries currently queued across both tiers (calendar ring +
+  /// overflow heap) — the "event queue occupancy" telemetry gauge.
+  std::size_t queued() const { return ring_count_ + heap_.size(); }
+
+  /// Install (or clear, with nullptr) the periodic cycle hook.  `first`
+  /// is the first cycle of interest; after that the hook's own return
+  /// values drive the cadence.
+  void set_cycle_hook(CycleHook* hook, Cycle first = 0) {
+    hook_ = hook;
+    hook_next_ = hook == nullptr ? kNeverCycle : first;
+  }
 
   /// Run until the event queues empty or `limit` is passed.
   /// Returns true if the system went idle (queues drained), false if the
@@ -191,6 +235,13 @@ class Scheduler {
   std::uint64_t wakes_deduped_ = 0;
   std::uint64_t bucket_pushes_ = 0;
   std::uint64_t overflow_pushes_ = 0;
+  std::uint64_t commit_pushes_ = 0;
+  std::uint64_t commits_deduped_ = 0;
+
+  // Telemetry hook: hook_next_ is kNeverCycle whenever hook_ is null, so
+  // the disabled case is a single always-false compare in run().
+  CycleHook* hook_ = nullptr;
+  Cycle hook_next_ = kNeverCycle;
 
   // Calendar tier: ring of buckets indexed by (cycle & ring_mask_), an
   // occupancy bitmap for next-event scans, and the spill-node pool.

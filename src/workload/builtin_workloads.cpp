@@ -30,6 +30,19 @@ Section section_or_default(const std::optional<Section>& s) {
   return s.has_value() ? *s : Section{};
 }
 
+/// Kernel pressure counters merged into every run's stats.  Only the
+/// kernel-*independent* ones belong here: the calendar/heap differential
+/// tests compare full counter maps across event-queue kernels, so
+/// bucket_pushes/overflow_pushes (which differ by design) stay out —
+/// they are still visible as timeline series via Sampler::attach().
+void add_sched_stats(const sim::Scheduler& sched, sim::StatSet& stats) {
+  stats.set("sched.wake_requests", sched.wake_requests());
+  stats.set("sched.wakes_deduped", sched.wakes_deduped());
+  stats.set("sched.commit_pushes", sched.commit_pushes());
+  stats.set("sched.commits_deduped", sched.commits_deduped());
+  stats.set("sched.active_cycles", sched.active_cycles());
+}
+
 // ---------------------------------------------------------------------
 // Full-system applications
 // ---------------------------------------------------------------------
@@ -53,6 +66,7 @@ class JacobiWorkload final : public Workload {
     cfg.seed = req.seed;
     core::MedeaSystem sys(cfg);
     if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
+    ScopedTelemetry telemetry(ctx, sys.scheduler(), sys.network().stats());
 
     apps::JacobiParams jp;
     jp.n = ap.size > 0 ? ap.size : 30;
@@ -67,6 +81,7 @@ class JacobiWorkload final : public Workload {
     r.metric = res.cycles_per_iteration;
     r.metric_name = "cycles_per_iteration";
     r.stats = sys.aggregate_stats();
+    add_sched_stats(sys.scheduler(), r.stats);
     r.flits_delivered = r.stats.get("noc.flits_delivered");
     r.verified_ok = !jp.verify || res.max_abs_error == 0.0;
     return r;
@@ -97,6 +112,7 @@ class ReductionWorkload final : public Workload {
     cfg.seed = req.seed;
     core::MedeaSystem sys(cfg);
     if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
+    ScopedTelemetry telemetry(ctx, sys.scheduler(), sys.network().stats());
 
     apps::ReductionParams rp;
     rp.elements = ap.size > 0 ? ap.size : 1024;
@@ -109,6 +125,7 @@ class ReductionWorkload final : public Workload {
     r.metric = res.cycles_per_round;
     r.metric_name = "cycles_per_round";
     r.stats = sys.aggregate_stats();
+    add_sched_stats(sys.scheduler(), r.stats);
     r.flits_delivered = r.stats.get("noc.flits_delivered");
     // The MP variant accumulates in rank order (exact); the SM variant's
     // order follows lock grants, so it gets the documented tolerance.
@@ -200,6 +217,7 @@ class SyntheticWorkload final : public Workload {
                      RunContext& ctx, RunResult& r,
                      const std::string& prefix) {
     if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
+    ScopedTelemetry telemetry(ctx, sched, net.stats());
     if (req.measurement.phased) {
       const MeasurementResult m =
           run_phased_traffic(sched, net, tc, req.measurement, *ctx.measure);
@@ -219,6 +237,7 @@ class SyntheticWorkload final : public Workload {
       r.verified_ok =
           static_cast<std::uint64_t>(received) == r.flits_delivered;
     }
+    add_sched_stats(sched, r.stats);
   }
 
   noc::TrafficPattern pattern_;
@@ -244,6 +263,7 @@ class AlltoallWorkload final : public Workload {
     cfg.seed = req.seed;
     core::MedeaSystem sys(cfg);
     if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
+    ScopedTelemetry telemetry(ctx, sys.scheduler(), sys.network().stats());
 
     apps::AlltoallParams aap;
     aap.words_per_pair = ap.size > 0 ? ap.size : 8;
@@ -255,6 +275,7 @@ class AlltoallWorkload final : public Workload {
     r.metric = res.cycles_per_round;
     r.metric_name = "cycles_per_round";
     r.stats = sys.aggregate_stats();
+    add_sched_stats(sys.scheduler(), r.stats);
     r.flits_delivered = r.stats.get("noc.flits_delivered");
     // Receivers verify every word against the (src,dst,i) reference on
     // every run; req.verify only decides whether the result gates on it.
@@ -308,6 +329,7 @@ class ReplayWorkload final : public Workload {
       noc::XyNetwork net(sched, geom, trace.meta.net.xy_router_config(),
                          trace.meta.net.torus_wrap);
       if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
+      ScopedTelemetry telemetry(ctx, sched, net.stats());
       res = run_replay(sched, net, trace, kReplayLimit, rp.force_config);
       r.stats = net.stats();
     } else {
@@ -316,10 +338,12 @@ class ReplayWorkload final : public Workload {
       // recording unless rp.force_config makes it explicit.
       noc::Network net(sched, geom, req.machine.router, trace.meta.seed);
       if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
+      ScopedTelemetry telemetry(ctx, sched, net.stats());
       res = run_replay(sched, net, trace, kReplayLimit, rp.force_config);
       r.stats = net.stats();
     }
 
+    add_sched_stats(sched, r.stats);
     r.cycles = res.cycles;
     r.metric = static_cast<double>(res.last_delivery_cycle);
     r.metric_name = "last_delivery_cycle";

@@ -118,18 +118,32 @@ void validate_request(const RunRequest& req, const Workload& w) {
 RunResult run_workload(const Workload& w, const RunRequest& req,
                        noc::FlitObserver* observer) {
   validate_request(req, w);
+  // The sampler outlives the workload's scheduler use: workloads attach
+  // it via ctx.attach_telemetry(), the engine collects the timeline.
+  std::optional<telemetry::Sampler> sampler;
+  if (req.telemetry.sample_every > 0) {
+    sampler.emplace(req.telemetry.sample_every);
+  }
+  const auto finish_timeline = [&](RunResult& r) {
+    if (!sampler.has_value()) return;
+    sampler->finish(r.cycles);
+    r.timeline = sampler->take();
+  };
   if (!req.measurement.collect && !req.measurement.phased) {
-    RunContext ctx{observer, nullptr};
-    return w.run(req, ctx);
+    RunContext ctx{observer, nullptr, sampler ? &*sampler : nullptr};
+    RunResult r = w.run(req, ctx);
+    finish_timeline(r);
+    return r;
   }
   const auto [width, height] = w.noc_dims(req);
   MeasurementController mc(req.measurement, width * height, observer);
-  RunContext ctx{observer, &mc};
+  RunContext ctx{observer, &mc, sampler ? &*sampler : nullptr};
   RunResult r = w.run(req, ctx);
   // Whole-run mode: the window is the entire run.  Phased runs were
   // finalized by the driver already (finalize is idempotent).
   mc.finalize(r.cycles, true);
   r.measurement = mc.result();
+  finish_timeline(r);
   return r;
 }
 

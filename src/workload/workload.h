@@ -11,6 +11,7 @@
 #include "noc/traffic.h"
 #include "noc/xy_router.h"
 #include "sim/stats.h"
+#include "sim/telemetry.h"
 #include "sim/types.h"
 #include "workload/measure.h"
 #include "workload/trace.h"
@@ -103,6 +104,16 @@ struct ReplayParams {
   bool force_config = false;
 };
 
+/// Telemetry knobs (any workload kind): cycle-domain time-series
+/// sampling of the run's stats into RunResult::timeline.
+struct TelemetryParams {
+  /// Snapshot every N simulated cycles.  0 = off — the run then pays
+  /// nothing on the kernel hot path (see sim::CycleHook).
+  sim::Cycle sample_every = 0;
+
+  bool operator==(const TelemetryParams&) const = default;
+};
+
 /// Everything a run needs: the machine, one kind-specific section, and
 /// the measurement setup.  Engage exactly the section your workload
 /// kind uses (or none, for defaults); the others must stay nullopt.
@@ -116,6 +127,7 @@ struct RunRequest {
   std::optional<ReplayParams> replay;
 
   MeasurementParams measurement{};
+  TelemetryParams telemetry{};
 };
 
 /// What a run produced.
@@ -130,6 +142,10 @@ struct RunResult {
   /// Latency percentiles and throughput (empty — latency.count == 0 —
   /// when measurement.collect was off).
   MeasurementResult measurement;
+
+  /// Cycle-domain time series (empty when telemetry.sample_every was 0).
+  /// Export via workload/timeline.h.
+  telemetry::Timeline timeline;
 };
 
 /// Per-run plumbing handed to Workload::run() by the engine: the
@@ -140,6 +156,7 @@ struct RunResult {
 struct RunContext {
   noc::FlitObserver* raw_observer = nullptr;
   MeasurementController* measure = nullptr;
+  telemetry::Sampler* sampler = nullptr;  ///< non-null when sampling is on
 
   /// What to hang on the fabric: the controller when measuring (it
   /// forwards to raw_observer), the raw observer otherwise.
@@ -147,6 +164,47 @@ struct RunContext {
     return measure != nullptr ? static_cast<noc::FlitObserver*>(measure)
                               : raw_observer;
   }
+
+  /// Registers the stats with the sampler and hooks it into the
+  /// scheduler (which also adds the sched.* pressure series).  No-op —
+  /// and free — when the request did not ask for sampling.  Prefer
+  /// ScopedTelemetry below: the sampler outlives the workload's
+  /// scheduler and fabric, so something must capture the final window
+  /// and detach *before* they are destroyed.
+  void attach_telemetry(sim::Scheduler& sched,
+                        const sim::StatSet& stats) const {
+    if (sampler == nullptr) return;
+    sampler->add_stats("", stats);
+    sampler->attach(sched);
+  }
+};
+
+/// RAII telemetry attachment for workload implementations: attaches the
+/// run's sampler (if any) on construction and, when it leaves scope,
+/// captures the final partial window and detaches — while the scheduler
+/// and StatSet it samples are still alive.  Declare one *after* the
+/// fabric whose stats it registers and before running:
+///
+///   noc::Network net(sched, ...);
+///   ScopedTelemetry telemetry(ctx, sched, net.stats());
+///   ... run ...
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry(const RunContext& ctx, sim::Scheduler& sched,
+                  const sim::StatSet& stats)
+      : sampler_(ctx.sampler), sched_(sched) {
+    ctx.attach_telemetry(sched, stats);
+  }
+  ~ScopedTelemetry() {
+    if (sampler_ != nullptr) sampler_->finish(sched_.now());
+  }
+
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  telemetry::Sampler* sampler_;
+  sim::Scheduler& sched_;
 };
 
 /// One runnable scenario.  run() builds a fresh simulator every call
