@@ -51,13 +51,14 @@ int main(int argc, char** argv) {
       req.synthetic->injection_rate = load;
       req.measurement.phased = true;
       workload::MeasurementResult m;
+      sim::StatSet stats;
       char label[64];
       std::snprintf(label, sizeof(label), "uniform/%s/l%.2f", net, load);
       auto row =
           bench::run_case(label, cfg, report.options(), [&] {
-            const workload::RunResult r =
-                workload::run_by_name("uniform", req);
+            workload::RunResult r = workload::run_by_name("uniform", req);
             m = r.measurement;
+            stats = std::move(r.stats);
             return r.cycles;
           });
       row.metric("p50", static_cast<double>(m.latency.p50));
@@ -67,6 +68,12 @@ int main(int argc, char** argv) {
       row.metric("offered_load", m.offered_load);
       row.metric("accepted_throughput", m.accepted_throughput);
       row.metric("drained", m.drained ? 1.0 : 0.0);
+      // Deflection forensics scalars (identically zero on the XY fabric,
+      // which never misroutes): worst per-packet deflection count and
+      // the mean — the congestion signal bench_trend.py tracks PR over
+      // PR alongside the latency percentiles.
+      row.metric("max_deflections", stats.acc("noc.deflections").max());
+      row.metric("mean_deflections", stats.acc("noc.deflections").mean());
       report.add(std::move(row));
     }
 

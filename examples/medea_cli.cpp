@@ -1,7 +1,7 @@
 /// medea_cli — run one MEDEA experiment from the command line.
 ///
-/// A small front-end over the library for scripting experiments without
-/// writing C++:
+/// A small front-end over the workload engine for scripting experiments
+/// without writing C++:
 ///
 ///   medea_cli [options]
 ///     --workload=jacobi|reduction     (default jacobi)
@@ -14,6 +14,15 @@
 ///     --iters=I        timed iterations/rounds   (default 2)
 ///     --verify         check against the sequential reference
 ///     --stats          dump aggregate hardware statistics
+///   telemetry:
+///     --sample-every=N snapshot stats every N cycles (default 1024
+///                      when an export below is requested, else off)
+///     --timeline=FILE  sampled time-series JSON (medea-timeline-v1)
+///     --perfetto=FILE  Chrome/Perfetto trace (chrome://tracing)
+///   flit tracing:
+///     --flit-trace=FILE  per-flit hop chains JSON (medea-flittrace-v1)
+///     --trace-sample=N   trace 1-in-N packets (default 1 = all)
+///     --worst-flits=K    print the top-K worst-packet report
 ///
 /// Exit code 0 on success (and verification pass), 1 otherwise.
 
@@ -21,9 +30,11 @@
 #include <cstring>
 #include <string>
 
-#include "apps/jacobi.h"
-#include "apps/reduction.h"
 #include "core/medea.h"
+#include "sim/telemetry.h"
+#include "workload/flit_report.h"
+#include "workload/timeline.h"
+#include "workload/workload.h"
 
 using namespace medea;
 
@@ -40,6 +51,15 @@ struct Options {
   int iters = 2;
   bool verify = false;
   bool stats = false;
+  // telemetry exports
+  sim::Cycle sample_every = 0;
+  std::string timeline_path;
+  std::string perfetto_path;
+  // flit tracing
+  std::string flit_trace_path;
+  std::uint32_t trace_sample = 0;
+  int worst_k = 8;
+  bool print_worst = false;
 };
 
 bool parse(int argc, char** argv, Options& o) {
@@ -72,6 +92,19 @@ bool parse(int argc, char** argv, Options& o) {
                                   : pe::ArbiterKind::kDualFifo;
     } else if (const char* v8 = val("--iters")) {
       o.iters = std::atoi(v8);
+    } else if (const char* v9 = val("--sample-every")) {
+      o.sample_every = static_cast<sim::Cycle>(std::atoll(v9));
+    } else if (const char* v10 = val("--timeline")) {
+      o.timeline_path = v10;
+    } else if (const char* v11 = val("--perfetto")) {
+      o.perfetto_path = v11;
+    } else if (const char* v12 = val("--flit-trace")) {
+      o.flit_trace_path = v12;
+    } else if (const char* v13 = val("--trace-sample")) {
+      o.trace_sample = static_cast<std::uint32_t>(std::atoll(v13));
+    } else if (const char* v14 = val("--worst-flits")) {
+      o.worst_k = std::atoi(v14);
+      o.print_worst = true;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--stats") {
@@ -86,52 +119,116 @@ bool parse(int argc, char** argv, Options& o) {
   return true;
 }
 
-core::MedeaSystem make_system(const Options& o) {
-  core::MedeaConfig cfg;
-  cfg.num_compute_cores = o.cores;
-  cfg.l1.size_bytes = o.cache_kb * 1024;
-  cfg.l1.policy = o.policy;
-  cfg.arbiter.kind = o.arbiter;
-  return core::MedeaSystem(cfg);
-}
-
-int run_jacobi_cli(const Options& o) {
-  auto sys = make_system(o);
-  apps::JacobiParams p;
-  p.n = o.n > 0 ? o.n : 30;
-  p.timed_iterations = o.iters;
-  p.verify = o.verify;
-  p.variant = o.variant == "sync-only"
-                  ? apps::JacobiVariant::kHybridSyncOnly
-              : o.variant == "sm" ? apps::JacobiVariant::kPureSharedMemory
-                                  : apps::JacobiVariant::kHybridMp;
-  const auto res = apps::run_jacobi(sys, p);
-  std::printf("jacobi %dx%d %s: %.0f cycles/iteration (total %llu)\n", p.n,
-              p.n, to_string(p.variant), res.cycles_per_iteration,
-              static_cast<unsigned long long>(res.total_cycles));
-  if (o.verify) {
-    std::printf("verification: max |err| = %g -> %s\n", res.max_abs_error,
-                res.max_abs_error == 0.0 ? "bit-exact" : "FAILED");
-    if (res.max_abs_error != 0.0) return 1;
+/// Map the CLI's workload/variant pair onto a registry name; empty on an
+/// unknown combination.
+std::string registry_name(const Options& o) {
+  if (o.workload == "jacobi") {
+    if (o.variant == "mp") return "jacobi";
+    if (o.variant == "sync-only") return "jacobi-sync";
+    if (o.variant == "sm") return "jacobi-sm";
+  } else if (o.workload == "reduction") {
+    if (o.variant == "mp") return "reduction";
+    if (o.variant == "sm") return "reduction-sm";
   }
-  if (o.stats) std::fputs(sys.aggregate_stats().to_string().c_str(), stdout);
-  return 0;
+  return "";
 }
 
-int run_reduction_cli(const Options& o) {
-  auto sys = make_system(o);
-  apps::ReductionParams p;
-  p.elements = o.n > 0 ? o.n : 1024;
-  p.repeats = o.iters;
-  p.variant = o.variant == "sm" ? apps::ReductionVariant::kSharedMemory
-                                : apps::ReductionVariant::kMessagePassing;
-  const auto res = apps::run_reduction(sys, p);
-  std::printf("reduction %d elems %s: %.0f cycles/round, value %.12g "
-              "(ref %.12g, |err| %g)\n",
-              p.elements, to_string(p.variant), res.cycles_per_round,
-              res.value, res.reference, res.abs_error);
-  if (o.stats) std::fputs(sys.aggregate_stats().to_string().c_str(), stdout);
-  return o.verify && res.abs_error > 1e-9 ? 1 : 0;
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+int run_cli(const Options& o) {
+  const std::string name = registry_name(o);
+  if (name.empty()) {
+    std::fprintf(stderr, "unknown workload/variant: %s/%s\n",
+                 o.workload.c_str(), o.variant.c_str());
+    return 1;
+  }
+
+  workload::RunRequest req;
+  req.machine.num_compute_cores = o.cores;
+  req.machine.l1.size_bytes = o.cache_kb * 1024;
+  req.machine.l1.policy = o.policy;
+  req.machine.arbiter.kind = o.arbiter;
+  req.verify = o.verify;
+  req.app = workload::AppParams{};
+  req.app->size = o.n;
+  req.app->iterations = o.iters;
+
+  // Telemetry outputs imply sampling; flit-trace outputs imply tracing.
+  const bool wants_telemetry =
+      !o.timeline_path.empty() || !o.perfetto_path.empty();
+  req.telemetry.sample_every = o.sample_every;
+  if (wants_telemetry && req.telemetry.sample_every == 0) {
+    req.telemetry.sample_every = 1024;
+  }
+  if (!o.perfetto_path.empty()) {
+    telemetry::HostProfiler::instance().set_enabled(true);
+  }
+  const bool wants_flit_trace =
+      !o.flit_trace_path.empty() || o.print_worst || o.trace_sample > 0;
+  req.flit_trace.sample_every =
+      wants_flit_trace && o.trace_sample == 0 ? 1 : o.trace_sample;
+  req.flit_trace.worst_k = o.worst_k;
+
+  const workload::RunResult res = workload::run_by_name(name, req);
+
+  const int n = o.n > 0 ? o.n : (o.workload == "jacobi" ? 30 : 1024);
+  if (o.workload == "jacobi") {
+    std::printf("jacobi %dx%d %s: %.0f cycles/iteration (total %llu)\n", n, n,
+                o.variant.c_str(), res.metric,
+                static_cast<unsigned long long>(res.cycles));
+  } else {
+    std::printf("reduction %d elems %s: %.0f cycles/round (total %llu)\n", n,
+                o.variant.c_str(), res.metric,
+                static_cast<unsigned long long>(res.cycles));
+  }
+  if (o.verify) {
+    std::printf("verification: %s\n", res.verified_ok ? "PASS" : "FAILED");
+  }
+  if (o.stats) std::fputs(res.stats.to_string().c_str(), stdout);
+  if (o.print_worst) {
+    std::fputs(workload::format_worst_flits(res.flit_trace, o.worst_k).c_str(),
+               stdout);
+  }
+
+  if (wants_telemetry || wants_flit_trace) {
+    workload::TimelineMeta meta;
+    meta.workload = name;
+    meta.seed = req.seed;
+    meta.noc_width = req.machine.noc_width;
+    meta.noc_height = req.machine.noc_height;
+    meta.measurement = res.measurement;
+    const auto dump = [&](const std::string& path, std::string text) {
+      if (path.empty()) return true;
+      if (!write_file(path, text)) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return false;
+      }
+      std::printf("wrote %s\n", path.c_str());
+      return true;
+    };
+    bool ok = dump(o.timeline_path,
+                   workload::format_timeline_json(res.timeline, meta));
+    ok = dump(o.perfetto_path,
+              wants_flit_trace
+                  ? workload::format_chrome_trace(
+                        res.timeline, meta,
+                        telemetry::HostProfiler::instance().spans(),
+                        res.flit_trace, o.worst_k)
+                  : workload::format_chrome_trace(
+                        res.timeline, meta,
+                        telemetry::HostProfiler::instance().spans())) && ok;
+    ok = dump(o.flit_trace_path,
+              workload::format_flit_trace_json(res.flit_trace, meta,
+                                               o.worst_k)) && ok;
+    if (!ok) return 1;
+  }
+  return res.verified_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -144,12 +241,13 @@ int main(int argc, char** argv) {
                  "[--variant=mp|sync-only|sm] [--n=N] [--cores=P] "
                  "[--cache-kb=K] [--policy=wb|wt] "
                  "[--arbiter=mux|single|dual] [--iters=I] [--verify] "
-                 "[--stats]\n");
+                 "[--stats] [--sample-every=N] [--timeline=FILE] "
+                 "[--perfetto=FILE] [--flit-trace=FILE] [--trace-sample=N] "
+                 "[--worst-flits=K]\n");
     return 1;
   }
   try {
-    return o.workload == "reduction" ? run_reduction_cli(o)
-                                     : run_jacobi_cli(o);
+    return run_cli(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -20,6 +20,7 @@
 ///   run_workload uniform --phased --process=onoff --measure=8192
 ///   run_workload uniform --sweep-load --loads=0.05,0.15,0.25 --json=sat.json
 ///   run_workload uniform --phased --timeline=tl.json --perfetto=trace.json
+///   run_workload uniform --rate=0.65 --flit-trace=flits.json --worst-flits=5
 ///   run_workload bitrev --network=xy --record=xy.mdtr
 ///   run_workload jacobi --size=30 --record=jacobi.mdtr
 ///   run_workload replay --trace=jacobi.mdtr --trace-scale=2.0
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "sim/telemetry.h"
+#include "workload/flit_report.h"
 #include "workload/saturation.h"
 #include "workload/timeline.h"
 #include "workload/workload.h"
@@ -58,6 +60,9 @@ struct Cli {
   std::string timeline_path;
   std::string timeline_csv_path;
   std::string perfetto_path;
+  // --flit-trace/--worst-flits per-flit lifecycle tracing
+  std::string flit_trace_path;
+  bool print_worst = false;
   // --sweep-load mode
   bool sweep = false;
   workload::LoadSweepSpec sweep_spec;
@@ -229,6 +234,23 @@ const std::vector<Flag>& flag_table() {
       {"telemetry", "--perfetto", "", "FILE",
        "write a Chrome/Perfetto trace (open in chrome://tracing)",
        [](Cli& c, const char* v) { c.perfetto_path = v; }},
+
+      // --- flit tracing (FlitTraceParams + exporters) ---
+      {"flit-trace", "--flit-trace", "", "FILE",
+       "write sampled per-flit hop chains as JSON (medea-flittrace-v1)",
+       [](Cli& c, const char* v) { c.flit_trace_path = v; }},
+      {"flit-trace", "--trace-sample", "", "N",
+       "trace 1-in-N packets by uid hash (default 1 = every packet)",
+       [](Cli& c, const char* v) {
+         c.req.flit_trace.sample_every =
+             static_cast<std::uint32_t>(std::atoll(v));
+       }},
+      {"flit-trace", "--worst-flits", "", "K",
+       "print the top-K worst-packet forensics report (implies tracing)",
+       [](Cli& c, const char* v) {
+         c.req.flit_trace.worst_k = std::atoi(v);
+         c.print_worst = true;
+       }},
 
       // --- modes & output ---
       {"output", "--record", "", "FILE", "record the run's flit trace",
@@ -440,6 +462,13 @@ int main(int argc, char** argv) {
   if (!cli.perfetto_path.empty()) {
     telemetry::HostProfiler::instance().set_enabled(true);
   }
+  // Flit-trace outputs imply tracing; default to sampling every packet.
+  const bool wants_flit_trace = !cli.flit_trace_path.empty() ||
+                                cli.print_worst ||
+                                cli.req.flit_trace.sample_every > 0;
+  if (wants_flit_trace && cli.req.flit_trace.sample_every == 0) {
+    cli.req.flit_trace.sample_every = 1;
+  }
 
   try {
     if (cli.sweep) return run_sweep_mode(name, cli);
@@ -464,7 +493,13 @@ int main(int argc, char** argv) {
                        : "");
     print_measurement(res.measurement);
     if (cli.stats) std::fputs(res.stats.to_string().c_str(), stdout);
-    if (wants_telemetry) {
+    if (cli.print_worst) {
+      std::fputs(workload::format_worst_flits(res.flit_trace,
+                                              cli.req.flit_trace.worst_k)
+                     .c_str(),
+                 stdout);
+    }
+    if (wants_telemetry || wants_flit_trace) {
       const workload::Workload& w =
           workload::WorkloadRegistry::instance().at(name);
       const auto [tw, th] = w.noc_dims(cli.req);
@@ -487,10 +522,21 @@ int main(int argc, char** argv) {
                      workload::format_timeline_json(res.timeline, meta));
       ok = dump(cli.timeline_csv_path,
                 workload::format_timeline_csv(res.timeline)) && ok;
+      // A traced run's Perfetto export carries the worst packets' flow
+      // arrows on top of the counter/phase tracks.
       ok = dump(cli.perfetto_path,
-                workload::format_chrome_trace(
-                    res.timeline, meta,
-                    telemetry::HostProfiler::instance().spans())) && ok;
+                wants_flit_trace
+                    ? workload::format_chrome_trace(
+                          res.timeline, meta,
+                          telemetry::HostProfiler::instance().spans(),
+                          res.flit_trace, cli.req.flit_trace.worst_k)
+                    : workload::format_chrome_trace(
+                          res.timeline, meta,
+                          telemetry::HostProfiler::instance().spans())) && ok;
+      ok = dump(cli.flit_trace_path,
+                workload::format_flit_trace_json(res.flit_trace, meta,
+                                                 cli.req.flit_trace.worst_k)) &&
+           ok;
       if (!ok) return 1;
     }
     if (!cli.json_path.empty()) {

@@ -31,6 +31,12 @@
 ///       Interleave two recordings of the same fabric into one
 ///       multi-tenant trace (uids re-spaced).
 ///
+///   trace_tool flits FILE [--sample=N] [--worst=K] [--json=OUT]
+///       Per-flit lifecycle forensics: replay the trace with the flit
+///       tracer attached and print the latency decomposition plus the
+///       top-K worst-packet hop chains (--json additionally writes the
+///       full medea-flittrace-v1 document).
+///
 /// Exit codes: 0 success, 1 usage/processing error, 2 diff found
 /// differences.
 
@@ -41,7 +47,10 @@
 #include <string>
 #include <vector>
 
+#include "workload/flit_report.h"
+#include "workload/timeline.h"
 #include "workload/trace.h"
+#include "workload/workload.h"
 #include "workload/xform/inspect.h"
 #include "workload/xform/transform.h"
 
@@ -58,7 +67,8 @@ int usage() {
       "       trace_tool transform IN -o OUT [--scale=F] [--remap=WxH]\n"
       "         [--remap-tiled=WxH] [--window=B:E] [--window-raw=B:E]\n"
       "       trace_tool diff A B\n"
-      "       trace_tool merge A B -o OUT\n");
+      "       trace_tool merge A B -o OUT\n"
+      "       trace_tool flits FILE [--sample=N] [--worst=K] [--json=OUT]\n");
   return 1;
 }
 
@@ -206,6 +216,62 @@ int cmd_merge(int argc, char** argv) {
   return 0;
 }
 
+/// Replay FILE through the workload engine with the flit tracer
+/// attached: the trace analyzer without a JSON parser in C++ — the
+/// replayed run *is* the recorded run (bit-identical scheduling), so
+/// its hop chains are the recording's forensics.
+int cmd_flits(int argc, char** argv) {
+  const char* path = nullptr;
+  std::uint32_t sample = 1;
+  int worst = 8;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (const char* v = opt_value(a, "--sample")) {
+      sample = static_cast<std::uint32_t>(std::atoll(v));
+    } else if (const char* v2 = opt_value(a, "--worst")) {
+      worst = std::atoi(v2);
+    } else if (const char* v3 = opt_value(a, "--json")) {
+      json_path = v3;
+    } else if (a[0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr || sample == 0) return usage();
+
+  workload::RunRequest req;
+  req.replay = workload::ReplayParams{};
+  req.replay->trace_path = path;
+  req.flit_trace.sample_every = sample;
+  req.flit_trace.worst_k = worst;
+  const workload::RunResult res = workload::run_by_name("replay", req);
+
+  std::printf("%s: replayed %llu flits in %llu cycles\n", path,
+              static_cast<unsigned long long>(res.flits_delivered),
+              static_cast<unsigned long long>(res.cycles));
+  std::fputs(workload::format_worst_flits(res.flit_trace, worst).c_str(),
+             stdout);
+  if (!json_path.empty()) {
+    workload::TimelineMeta meta;
+    meta.workload = "replay";
+    meta.noc_width = res.flit_trace.width;
+    meta.noc_height = res.flit_trace.height;
+    const std::string doc =
+        workload::format_flit_trace_json(res.flit_trace, meta, worst);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,6 +282,7 @@ int main(int argc, char** argv) {
     if (cmd == "transform") return cmd_transform(argc - 2, argv + 2);
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
     if (cmd == "merge") return cmd_merge(argc - 2, argv + 2);
+    if (cmd == "flits") return cmd_flits(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -17,7 +17,10 @@ the last run is reported.  Directories are scanned for BENCH_*.json.
 Cases that export a `p99` metric (e.g. bench_saturation's per-load
 latency rows) additionally get a p99 trend table — tail-latency
 regressions are tracked the same way as sim_speed ones (note the sign:
-p99 going UP is the regression).  Cases exporting `timeline_*` metrics
+p99 going UP is the regression).  The same goes for `max_deflections`
+(bench_saturation's worst per-packet deflection count): a routing or
+arbitration change that sends packets ricocheting shows up here before
+it shows up in mean latency.  Cases exporting `timeline_*` metrics
 (bench_saturation's sampled knee_timeline rows) get one trend table per
 timeline metric, so transient-congestion regressions the end-of-run
 scalars average away still show up in review.
@@ -176,6 +179,8 @@ def main():
 
     print_metric_trend(runs, first, last, keys, "p99",
                        "p99 latency (cycles)")
+    print_metric_trend(runs, first, last, keys, "max_deflections",
+                       "max per-packet deflections")
     for metric in timeline_metrics(first, last, keys):
         print_metric_trend(runs, first, last, keys, metric, metric,
                            decimals=3)

@@ -2,17 +2,28 @@
 """Schema-validate telemetry exports (CI gate for the observability leg).
 
 Usage:
-  check_telemetry.py --timeline tl.json [--perfetto trace.json] ...
+  check_telemetry.py --timeline tl.json [--perfetto trace.json]
+                     [--flit-trace flits.json] ...
 
 Validates, with only the standard library:
   * timeline JSON against the "medea-timeline-v1" shape produced by
     workload::format_timeline_json — schema tag, rectangular series
-    (every counter/gauge has exactly num_windows values), monotonically
+    (first_window + len(values) == num_windows, so counters born
+    mid-run — a core's first MP stall, say — stay valid), monotonically
     increasing sample cycles, heatmap frames of w*h cells;
   * Chrome/Perfetto trace JSON against the trace_event form produced by
     workload::format_chrome_trace — a traceEvents array whose events
     carry the required ph/pid/name fields, "X" spans with non-negative
-    durations, "C" counters with args, and the schema tag in otherData.
+    durations, "C" counters with args, flit-journey flow events
+    ("s"/"t"/"f") that each bind to an enclosing "X" slice and pair one
+    start with one binding finish per flow id, and the schema tag in
+    otherData;
+  * flit-trace JSON against the "medea-flittrace-v1" shape produced by
+    workload::format_flit_trace_json — rectangular packet/hop columns,
+    in-bounds contiguous chain slices, cycle-monotonic hop chains,
+    per-chain deflected flags summing to the packet's deflection count
+    (and across packets to total_deflections), link grids accounting
+    for every hop, and a worst list sorted by latency.
 
 Exits non-zero with a one-line reason on the first violation, so a CI
 failure names the broken invariant instead of just "artifact differs".
@@ -62,9 +73,12 @@ def check_timeline(path):
         if ".router." in name:
             fail(path, f"series {name}: router series must fold into heatmaps")
         values = s.get("values")
-        if not isinstance(values, list) or len(values) != n:
+        first = s.get("first_window", 0)
+        if not isinstance(values, list) or first < 0 \
+                or first + len(values) != n:
             got = len(values) if isinstance(values, list) else type(values)
-            fail(path, f"series {name}: {got} values, want {n} (rectangular)")
+            fail(path, f"series {name}: first_window {first} + {got} values "
+                       f"!= num_windows {n} (rectangular)")
 
     for hm in doc["heatmaps"]:
         name = hm.get("name", "<unnamed>")
@@ -94,20 +108,45 @@ def check_perfetto(path):
 
     phases = set()
     pids = set()
+    slices = set()  # (pid, tid, ts) of every X span — flow binding targets
+    flows = {}      # flow id -> [ph, ...] in array order
     for i, ev in enumerate(events):
         ph = ev.get("ph")
-        if ph not in ("M", "X", "C"):
+        if ph not in ("M", "X", "C", "s", "t", "f"):
             fail(path, f"event {i}: unsupported ph {ph!r}")
         phases.add(ph)
         if "pid" not in ev or "name" not in ev:
             fail(path, f"event {i}: missing pid/name")
         pids.add(ev["pid"])
-        if ph in ("X", "C") and "ts" not in ev:
+        if ph in ("X", "C", "s", "t", "f") and "ts" not in ev:
             fail(path, f"event {i} ({ev['name']}): missing ts")
         if ph == "X" and ev.get("dur", -1) < 0:
             fail(path, f"event {i} ({ev['name']}): X span without dur >= 0")
+        if ph == "X":
+            slices.add((ev["pid"], ev.get("tid"), ev["ts"]))
         if ph == "C" and not isinstance(ev.get("args"), dict):
             fail(path, f"event {i} ({ev['name']}): C counter without args")
+        if ph in ("s", "t", "f"):
+            if "id" not in ev:
+                fail(path, f"event {i}: flow event without id")
+            if ph == "f" and ev.get("bp") != "e":
+                fail(path, f"event {i}: flow finish without bp='e' "
+                           "(arrow would not bind to the enclosing slice)")
+            flows.setdefault(ev["id"], []).append(ev)
+
+    # Flow events only draw arrows when they bind to an enclosing slice
+    # at the same (pid, tid, ts), and each journey must be one start,
+    # forward steps, one finish — in that order.
+    for fid, evs in flows.items():
+        seq = [e["ph"] for e in evs]
+        if seq[0] != "s" or seq[-1] != "f" or seq.count("s") != 1 \
+                or seq.count("f") != 1:
+            fail(path, f"flow {fid}: phase sequence {seq} is not s t* f")
+        for e in evs:
+            key = (e["pid"], e.get("tid"), e["ts"])
+            if key not in slices:
+                fail(path, f"flow {fid}: {e['ph']} event at pid/tid/ts {key} "
+                           "has no enclosing X slice to bind to")
 
     # A loadable trace names its processes and carries real data tracks.
     names = {e["name"] for e in events if e["ph"] == "M"}
@@ -115,8 +154,97 @@ def check_perfetto(path):
         fail(path, "no process_name metadata — trace would render unlabeled")
     if "C" not in phases:
         fail(path, "no counter events — sampled run should emit tracks")
+    flow_note = f", {len(flows)} flit flows" if flows else ""
     print(f"check_telemetry: {path}: OK "
-          f"({len(events)} events, pids {sorted(pids)})")
+          f"({len(events)} events, pids {sorted(pids)}{flow_note})")
+
+
+def check_flit_trace(path):
+    doc = load(path)
+    if doc.get("schema") != "medea-flittrace-v1":
+        fail(path,
+             f"schema is {doc.get('schema')!r}, want 'medea-flittrace-v1'")
+    for key in ("workload", "noc", "sample_every", "packets_seen",
+                "packets_traced", "total_hops", "total_deflections",
+                "max_deflections", "latency", "hop_histogram",
+                "deflection_histogram", "links", "worst", "packets", "hops"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if doc["sample_every"] < 1:
+        fail(path, f"sample_every {doc['sample_every']} < 1 in a written trace")
+    if doc["packets_traced"] > doc["packets_seen"]:
+        fail(path, "packets_traced exceeds packets_seen")
+
+    # Rectangular columnar tables.
+    n = doc["packets_traced"]
+    packets = doc["packets"]
+    for col in ("uid", "src", "dst", "enqueue", "inject", "deliver",
+                "first_hop", "hop_count", "deflections", "complete"):
+        if len(packets.get(col, [])) != n:
+            fail(path, f"packets.{col}: {len(packets.get(col, []))} entries, "
+                       f"want {n}")
+    m = doc["total_hops"]
+    hops = doc["hops"]
+    for col in ("cycle", "node", "port", "deflected"):
+        if len(hops.get(col, [])) != m:
+            fail(path, f"hops.{col}: {len(hops.get(col, []))} entries, "
+                       f"want {m}")
+
+    # Chain slices: contiguous, in bounds, cycle-monotonic, deflected
+    # flags summing to the packet's counter.
+    nodes = doc["noc"]["width"] * doc["noc"]["height"]
+    next_hop = 0
+    defl_sum = 0
+    for i in range(n):
+        first, count = packets["first_hop"][i], packets["hop_count"][i]
+        if first != next_hop:
+            fail(path, f"packet {i}: chain starts at hop {first}, "
+                       f"want contiguous {next_hop}")
+        next_hop = first + count
+        if next_hop > m:
+            fail(path, f"packet {i}: chain [{first}, {next_hop}) exceeds "
+                       f"total_hops {m}")
+        chain = range(first, first + count)
+        for j in chain:
+            if not 0 <= hops["node"][j] < nodes:
+                fail(path, f"hop {j}: node {hops['node'][j]} out of range")
+            if not 0 <= hops["port"][j] < 4:
+                fail(path, f"hop {j}: port {hops['port'][j]} out of range")
+        cycles = [hops["cycle"][j] for j in chain]
+        if any(b <= a for a, b in zip(cycles, cycles[1:])):
+            fail(path, f"packet {i}: hop cycles not strictly increasing")
+        chain_defl = sum(hops["deflected"][j] for j in chain)
+        if packets["complete"][i] and chain_defl != packets["deflections"][i]:
+            fail(path, f"packet {i}: chain deflections {chain_defl} != "
+                       f"recorded {packets['deflections'][i]}")
+        defl_sum += chain_defl
+        if packets["complete"][i] and \
+                packets["deliver"][i] < packets["inject"][i]:
+            fail(path, f"packet {i}: delivered before injected")
+    if next_hop != m:
+        fail(path, f"chains cover {next_hop} hops, total_hops {m}")
+    if defl_sum != doc["total_deflections"]:
+        fail(path, f"chain deflections sum {defl_sum} != "
+                   f"total_deflections {doc['total_deflections']}")
+
+    # Link grids: 4 directions of w*h cells, accounting for every hop.
+    links = doc["links"]
+    for key in ("flits", "deflected"):
+        grids = links.get(key, [])
+        if len(grids) != 4 or any(len(g) != nodes for g in grids):
+            fail(path, f"links.{key}: want 4 grids of {nodes} cells")
+    if sum(sum(g) for g in links["flits"]) != m:
+        fail(path, "links.flits cells do not sum to total_hops")
+    if sum(sum(g) for g in links["deflected"]) != doc["total_deflections"]:
+        fail(path, "links.deflected cells do not sum to total_deflections")
+
+    # The worst list is sorted by inject->deliver latency, descending.
+    latencies = [w["latency"] for w in doc["worst"]]
+    if any(b > a for a, b in zip(latencies, latencies[1:])):
+        fail(path, "worst packets not sorted by latency descending")
+    print(f"check_telemetry: {path}: OK "
+          f"({n} packets, {m} hops, {doc['total_deflections']} deflections, "
+          f"worst {len(doc['worst'])})")
 
 
 def main():
@@ -127,13 +255,19 @@ def main():
                         metavar="FILE", help="medea-timeline-v1 JSON to check")
     parser.add_argument("--perfetto", action="append", default=[],
                         metavar="FILE", help="Chrome trace JSON to check")
+    parser.add_argument("--flit-trace", action="append", default=[],
+                        metavar="FILE",
+                        help="medea-flittrace-v1 JSON to check")
     args = parser.parse_args()
-    if not args.timeline and not args.perfetto:
-        parser.error("nothing to check (pass --timeline and/or --perfetto)")
+    if not args.timeline and not args.perfetto and not args.flit_trace:
+        parser.error("nothing to check "
+                     "(pass --timeline, --perfetto and/or --flit-trace)")
     for path in args.timeline:
         check_timeline(path)
     for path in args.perfetto:
         check_perfetto(path)
+    for path in args.flit_trace:
+        check_flit_trace(path)
 
 
 if __name__ == "__main__":

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "noc/coord.h"
 #include "sim/types.h"
@@ -112,11 +113,72 @@ Flit decode_flit(std::uint64_t word, int coord_bits = FlitFormat::kCoordBits);
 /// the switched fabric (its inject_cycle has just been stamped);
 /// on_deliver fires when a flit is placed into the destination's eject
 /// queue.  `node` is the linear node id of the router involved.
+///
+/// Hop-level lifecycle events (defaulted, so pre-existing observers stay
+/// source-compatible):
+///  * on_queue_enter fires the first cycle a flit is visible to a router
+///    in its local inject queue (queue *leave* coincides with on_inject);
+///  * on_hop fires when a router emits a flit on an output link —
+///    `out_port` is the Dir as an int, `deflected` true when the port was
+///    not productive toward the destination (always false on the XY
+///    baseline).  The flit is observed post-update (hops/deflections
+///    already counted for this traversal).
+///
+/// Hop-level events are gated on wants_lifecycle(): routers cache the
+/// answer at set_observer() time and skip the per-hop virtual calls (and
+/// the inject-queue scan) entirely for observers that keep the default,
+/// so a measurement-only or recorder-only run pays exactly what it did
+/// before these events existed.
 class FlitObserver {
  public:
   virtual ~FlitObserver() = default;
   virtual void on_inject(sim::Cycle now, int node, const Flit& f) = 0;
   virtual void on_deliver(sim::Cycle now, int node, const Flit& f) = 0;
+
+  virtual void on_queue_enter(sim::Cycle /*now*/, int /*node*/,
+                              const Flit& /*f*/) {}
+  virtual void on_hop(sim::Cycle /*now*/, int /*node*/, int /*out_port*/,
+                      bool /*deflected*/, const Flit& /*f*/) {}
+
+  /// Opt-in for the hop-level events above.  Checked once, when the
+  /// observer is attached — not per event.
+  virtual bool wants_lifecycle() const { return false; }
+};
+
+/// Fan-out observer: forwards every event to each added observer in add()
+/// order, so recorder + measurement + tracer compose without manual
+/// forward-pointer chaining.  add(nullptr) is a no-op; the tee reports
+/// wants_lifecycle() when any member does (members that don't still
+/// receive the hop-level calls — they inherit the no-op defaults).
+class FlitObserverTee final : public FlitObserver {
+ public:
+  void add(FlitObserver* obs) {
+    if (obs != nullptr) obs_.push_back(obs);
+  }
+  bool empty() const { return obs_.empty(); }
+
+  void on_inject(sim::Cycle now, int node, const Flit& f) override {
+    for (FlitObserver* o : obs_) o->on_inject(now, node, f);
+  }
+  void on_deliver(sim::Cycle now, int node, const Flit& f) override {
+    for (FlitObserver* o : obs_) o->on_deliver(now, node, f);
+  }
+  void on_queue_enter(sim::Cycle now, int node, const Flit& f) override {
+    for (FlitObserver* o : obs_) o->on_queue_enter(now, node, f);
+  }
+  void on_hop(sim::Cycle now, int node, int out_port, bool deflected,
+              const Flit& f) override {
+    for (FlitObserver* o : obs_) o->on_hop(now, node, out_port, deflected, f);
+  }
+  bool wants_lifecycle() const override {
+    for (const FlitObserver* o : obs_) {
+      if (o->wants_lifecycle()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<FlitObserver*> obs_;
 };
 
 }  // namespace medea::noc

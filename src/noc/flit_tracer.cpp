@@ -1,0 +1,261 @@
+#include "noc/flit_tracer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "noc/coord.h"
+
+namespace medea::telemetry {
+
+namespace {
+
+/// Avalanching integer hash (fmix32): the uid sequence is consecutive,
+/// so `uid % N` would sample one source's packets in bursts; hashing
+/// first makes the 1-in-N population uniform across time and space.
+std::uint32_t mix32(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x85ebca6bu;
+  x ^= x >> 13;
+  x *= 0xc2b2ae35u;
+  x ^= x >> 16;
+  return x;
+}
+
+}  // namespace
+
+bool flit_sampled(std::uint32_t uid, std::uint32_t sample_every) {
+  if (sample_every <= 1) return true;
+  return mix32(uid) % sample_every == 0;
+}
+
+// ---------------------------------------------------------------------
+// FlitTrace analysis
+// ---------------------------------------------------------------------
+
+LatencyDecomposition FlitTrace::decompose(const TracedFlit& f) const {
+  LatencyDecomposition d;
+  if (!f.complete) return d;
+  if (f.enqueue_cycle != sim::kNeverCycle) {
+    d.source_queue = f.inject_cycle - f.enqueue_cycle;
+  }
+  // First cycle the flit was at its destination router: the earliest hop
+  // *departing* the destination (a failed ejection on the hot-potato
+  // fabric), else one cycle after the last hop (normal link arrival).
+  // Zero-hop flits (XY self-delivery) never left the source.
+  sim::Cycle at_dst = f.inject_cycle;
+  if (f.hop_count > 0) {
+    at_dst = hop_cycle[f.first_hop + f.hop_count - 1] + 1;
+    for (std::uint32_t i = 0; i < f.hop_count; ++i) {
+      if (hop_node[f.first_hop + i] == f.dst) {
+        at_dst = hop_cycle[f.first_hop + i];
+        break;
+      }
+    }
+  }
+  d.network = at_dst - f.inject_cycle;
+  d.eject_wait = f.deliver_cycle - at_dst;
+  return d;
+}
+
+std::uint32_t FlitTrace::chain_deflections(const TracedFlit& f) const {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < f.hop_count; ++i) {
+    n += hop_deflected[f.first_hop + i];
+  }
+  return n;
+}
+
+std::vector<const TracedFlit*> FlitTrace::worst(int k) const {
+  std::vector<const TracedFlit*> out;
+  for (const TracedFlit& f : flits) {
+    if (f.complete) out.push_back(&f);
+  }
+  const auto slower = [](const TracedFlit* a, const TracedFlit* b) {
+    const sim::Cycle la = a->deliver_cycle - a->inject_cycle;
+    const sim::Cycle lb = b->deliver_cycle - b->inject_cycle;
+    if (la != lb) return la > lb;
+    return a->uid < b->uid;
+  };
+  const std::size_t n =
+      std::min(out.size(), static_cast<std::size_t>(k < 0 ? 0 : k));
+  std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n),
+                    out.end(), slower);
+  out.resize(n);
+  return out;
+}
+
+std::map<std::uint32_t, std::uint64_t> FlitTrace::hop_histogram() const {
+  std::map<std::uint32_t, std::uint64_t> h;
+  for (const TracedFlit& f : flits) {
+    if (f.complete) ++h[f.hop_count];
+  }
+  return h;
+}
+
+std::map<std::uint32_t, std::uint64_t> FlitTrace::deflection_histogram() const {
+  std::map<std::uint32_t, std::uint64_t> h;
+  for (const TracedFlit& f : flits) {
+    if (f.complete) ++h[f.deflections];
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> FlitTrace::link_flits() const {
+  std::vector<std::uint64_t> links(
+      static_cast<std::size_t>(num_nodes()) * noc::kNumDirs, 0);
+  for (std::size_t i = 0; i < hop_node.size(); ++i) {
+    ++links[static_cast<std::size_t>(hop_node[i]) * noc::kNumDirs +
+            hop_port[i]];
+  }
+  return links;
+}
+
+std::vector<std::uint64_t> FlitTrace::link_deflections() const {
+  std::vector<std::uint64_t> links(
+      static_cast<std::size_t>(num_nodes()) * noc::kNumDirs, 0);
+  for (std::size_t i = 0; i < hop_node.size(); ++i) {
+    if (hop_deflected[i] != 0) {
+      ++links[static_cast<std::size_t>(hop_node[i]) * noc::kNumDirs +
+              hop_port[i]];
+    }
+  }
+  return links;
+}
+
+std::uint64_t FlitTrace::total_deflections() const {
+  std::uint64_t n = 0;
+  for (const std::uint8_t d : hop_deflected) n += d;
+  return n;
+}
+
+std::uint32_t FlitTrace::max_deflections() const {
+  std::uint32_t m = 0;
+  for (const TracedFlit& f : flits) {
+    if (f.complete && f.deflections > m) m = f.deflections;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// FlitTracer recording
+// ---------------------------------------------------------------------
+
+FlitTracer::FlitTracer(std::uint32_t sample_every, int width, int height) {
+  trace_.sample_every = sample_every == 0 ? 1 : sample_every;
+  trace_.width = width;
+  trace_.height = height;
+}
+
+std::uint32_t FlitTracer::record_for(std::uint32_t uid) {
+  if (!flit_sampled(uid, trace_.sample_every)) return kNil;
+  const auto [it, inserted] =
+      by_uid_.emplace(uid, static_cast<std::uint32_t>(recs_.size()));
+  if (inserted) {
+    TracedFlit f;
+    f.uid = uid;
+    recs_.push_back(f);
+    chain_head_.push_back(kNil);
+    chain_tail_.push_back(kNil);
+  }
+  return it->second;
+}
+
+std::uint32_t FlitTracer::dst_id(const noc::Flit& f) const {
+  return static_cast<std::uint32_t>(f.dst.y) *
+             static_cast<std::uint32_t>(trace_.width) +
+         f.dst.x;
+}
+
+void FlitTracer::on_queue_enter(sim::Cycle now, int node, const noc::Flit& f) {
+  const std::uint32_t r = record_for(f.uid);
+  if (r == kNil) return;
+  TracedFlit& rec = recs_[r];
+  if (rec.enqueue_cycle == sim::kNeverCycle) {
+    rec.enqueue_cycle = now;
+    rec.src = static_cast<std::uint16_t>(node);
+    rec.dst = static_cast<std::uint16_t>(dst_id(f));
+  }
+}
+
+void FlitTracer::on_inject(sim::Cycle now, int node, const noc::Flit& f) {
+  ++trace_.packets_seen;
+  const std::uint32_t r = record_for(f.uid);
+  if (r == kNil) return;
+  TracedFlit& rec = recs_[r];
+  rec.inject_cycle = now;
+  rec.src = static_cast<std::uint16_t>(node);
+  rec.dst = static_cast<std::uint16_t>(dst_id(f));
+}
+
+void FlitTracer::on_hop(sim::Cycle now, int node, int out_port, bool deflected,
+                        const noc::Flit& f) {
+  const std::uint32_t r = record_for(f.uid);
+  if (r == kNil) return;
+  const std::uint32_t h = static_cast<std::uint32_t>(pool_.size());
+  pool_.push_back({now, static_cast<std::uint16_t>(node),
+                   static_cast<std::uint8_t>(out_port),
+                   static_cast<std::uint8_t>(deflected ? 1 : 0)});
+  pool_next_.push_back(kNil);
+  if (chain_head_[r] == kNil) {
+    chain_head_[r] = h;
+  } else {
+    pool_next_[chain_tail_[r]] = h;
+  }
+  chain_tail_[r] = h;
+  ++recs_[r].hop_count;
+}
+
+void FlitTracer::on_deliver(sim::Cycle now, int /*node*/, const noc::Flit& f) {
+  const std::uint32_t r = record_for(f.uid);
+  if (r == kNil) return;
+  TracedFlit& rec = recs_[r];
+  rec.deliver_cycle = now;
+  rec.deflections = f.deflections;
+  rec.complete = rec.inject_cycle != sim::kNeverCycle;
+}
+
+void FlitTracer::finalize(sim::Cycle run_cycles) {
+  if (finalized_) return;
+  finalized_ = true;
+  trace_.run_cycles = run_cycles;
+
+  // Deterministic flit order regardless of unordered_map iteration:
+  // (inject_cycle, uid), never-injected records last.
+  std::vector<std::uint32_t> order(recs_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (recs_[a].inject_cycle != recs_[b].inject_cycle) {
+                return recs_[a].inject_cycle < recs_[b].inject_cycle;
+              }
+              return recs_[a].uid < recs_[b].uid;
+            });
+
+  trace_.flits.reserve(recs_.size());
+  trace_.hop_cycle.reserve(pool_.size());
+  trace_.hop_node.reserve(pool_.size());
+  trace_.hop_port.reserve(pool_.size());
+  trace_.hop_deflected.reserve(pool_.size());
+  for (const std::uint32_t r : order) {
+    TracedFlit f = recs_[r];
+    f.first_hop = static_cast<std::uint32_t>(trace_.hop_cycle.size());
+    for (std::uint32_t h = chain_head_[r]; h != kNil; h = pool_next_[h]) {
+      trace_.hop_cycle.push_back(pool_[h].cycle);
+      trace_.hop_node.push_back(pool_[h].node);
+      trace_.hop_port.push_back(pool_[h].port);
+      trace_.hop_deflected.push_back(pool_[h].deflected);
+    }
+    assert(f.first_hop + f.hop_count == trace_.hop_cycle.size());
+    trace_.flits.push_back(f);
+  }
+
+  by_uid_.clear();
+  recs_.clear();
+  chain_head_.clear();
+  chain_tail_.clear();
+  pool_.clear();
+  pool_next_.clear();
+}
+
+}  // namespace medea::telemetry

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/flit.h"
+#include "sim/types.h"
+
+/// \file flit_tracer.h
+/// Sampled per-flit lifecycle tracing: the event-domain complement to the
+/// counter-domain telemetry Sampler (sim/telemetry.h).
+///
+/// FlitTracer is a FlitObserver that records, for every sampled packet,
+/// the full lifecycle — inject-queue enter, fabric inject, every hop
+/// (with the router's own deflected-vs-productive verdict), delivery —
+/// into compact columnar hop chains (struct-of-arrays, delta-free: four
+/// parallel vectors shared by all flits, each flit owning a contiguous
+/// [first_hop, first_hop + hop_count) slice after finalize()).
+///
+/// Sampling is 1-in-N by a hash of the flit uid, so the sampled
+/// population is unbiased w.r.t. injection time and source node, and —
+/// because uids are deterministic — identical across reruns, schedulers
+/// and fabrics of the same seed.
+///
+/// Determinism is load-bearing: the tracer is strictly read-only (it
+/// never touches the simulation, only observes), so a traced run is
+/// bit-identical to an untraced one; the differential tests assert this.
+///
+/// The finalized FlitTrace answers the forensic questions aggregate
+/// counters cannot: per-flit latency decomposition (source queueing vs
+/// in-network vs ejection wait), hop/deflection histograms, per-link
+/// utilization heatmaps, and the full hop chain of the worst packets.
+/// Exporters (Perfetto flow events, JSON, text reports) live in
+/// workload/flit_report.h and workload/timeline.h.
+
+namespace medea::telemetry {
+
+/// One hop-chain entry: the flit left `node` on `port` during `cycle`.
+struct TracedHop {
+  sim::Cycle cycle = 0;
+  std::uint16_t node = 0;
+  std::uint8_t port = 0;       ///< noc::Dir as int
+  std::uint8_t deflected = 0;  ///< 1 when the port was not productive
+};
+
+/// Per-packet lifecycle record.  Cycles use sim::kNeverCycle for
+/// "never observed" (e.g. a flit still in flight when the run ended).
+struct TracedFlit {
+  std::uint32_t uid = 0;
+  std::uint16_t src = 0;  ///< linear node id of the injecting router
+  std::uint16_t dst = 0;  ///< linear node id of the destination
+  sim::Cycle enqueue_cycle = sim::kNeverCycle;  ///< inject-queue enter
+  sim::Cycle inject_cycle = sim::kNeverCycle;   ///< entered the fabric
+  sim::Cycle deliver_cycle = sim::kNeverCycle;  ///< placed in eject queue
+  std::uint32_t first_hop = 0;  ///< index into the FlitTrace hop columns
+  std::uint32_t hop_count = 0;
+  std::uint16_t deflections = 0;  ///< final Flit::deflections at delivery
+  bool complete = false;          ///< injected *and* delivered
+
+  bool operator==(const TracedFlit&) const = default;
+};
+
+/// Per-flit latency split: enqueue -> inject (source queueing), inject ->
+/// first cycle at the destination router (in-network), first cycle at the
+/// destination -> delivery (ejection wait: failed-eject deflection loops
+/// on the hot-potato fabric, destination input buffering on XY).
+struct LatencyDecomposition {
+  sim::Cycle source_queue = 0;
+  sim::Cycle network = 0;
+  sim::Cycle eject_wait = 0;
+
+  sim::Cycle total() const { return source_queue + network + eject_wait; }
+};
+
+/// The finalized, immutable trace: flits sorted by (inject_cycle, uid),
+/// hop chains compacted into shared columnar arrays.
+struct FlitTrace {
+  std::uint32_t sample_every = 0;  ///< 0 = tracing was off
+  int width = 0;
+  int height = 0;
+  sim::Cycle run_cycles = 0;
+  std::uint64_t packets_seen = 0;  ///< all injects observed, sampled or not
+
+  std::vector<TracedFlit> flits;
+  // Hop columns (one entry per traversed link, across all flits).
+  std::vector<sim::Cycle> hop_cycle;
+  std::vector<std::uint16_t> hop_node;
+  std::vector<std::uint8_t> hop_port;
+  std::vector<std::uint8_t> hop_deflected;
+
+  bool enabled() const { return sample_every != 0; }
+  int num_nodes() const { return width * height; }
+  TracedHop hop(std::uint32_t i) const {
+    return {hop_cycle[i], hop_node[i], hop_port[i], hop_deflected[i]};
+  }
+
+  /// Latency split for one flit (zeros unless f.complete; a missing
+  /// enqueue observation yields source_queue == 0).
+  LatencyDecomposition decompose(const TracedFlit& f) const;
+
+  /// Deflections along f's recorded hop chain (== f.deflections for a
+  /// complete flit; the invariant tests assert that).
+  std::uint32_t chain_deflections(const TracedFlit& f) const;
+
+  /// The k highest-latency complete flits (inject -> deliver), latency
+  /// descending, uid ascending on ties.
+  std::vector<const TracedFlit*> worst(int k) const;
+
+  /// {hops -> packets} over complete flits.
+  std::map<std::uint32_t, std::uint64_t> hop_histogram() const;
+  /// {deflections -> packets} over complete flits.
+  std::map<std::uint32_t, std::uint64_t> deflection_histogram() const;
+
+  /// Per-link traversal counts, indexed [node * kNumDirs + port].
+  std::vector<std::uint64_t> link_flits() const;
+  /// Per-link deflected-traversal counts, same indexing.
+  std::vector<std::uint64_t> link_deflections() const;
+
+  /// Sum of deflected hop flags across every recorded chain.  With
+  /// sample_every == 1 on a drained deflection run this equals the
+  /// fabric's noc.deflections_total counter.
+  std::uint64_t total_deflections() const;
+  /// Highest per-flit deflection count among complete flits.
+  std::uint32_t max_deflections() const;
+
+  bool operator==(const FlitTrace&) const = default;
+};
+
+/// Deterministic uid -> sample decision (1-in-N; N <= 1 samples all).
+bool flit_sampled(std::uint32_t uid, std::uint32_t sample_every);
+
+/// The recording observer.  Attach to a fabric (usually via the engine's
+/// FlitObserverTee), run, then finalize() and take() the trace.
+class FlitTracer final : public noc::FlitObserver {
+ public:
+  FlitTracer(std::uint32_t sample_every, int width, int height);
+
+  bool wants_lifecycle() const override { return true; }
+  void on_queue_enter(sim::Cycle now, int node, const noc::Flit& f) override;
+  void on_inject(sim::Cycle now, int node, const noc::Flit& f) override;
+  void on_hop(sim::Cycle now, int node, int out_port, bool deflected,
+              const noc::Flit& f) override;
+  void on_deliver(sim::Cycle now, int node, const noc::Flit& f) override;
+
+  /// Compact the per-flit chains into the columnar layout and sort the
+  /// flit table by (inject_cycle, uid).  Idempotent.
+  void finalize(sim::Cycle run_cycles);
+
+  /// The finalized trace (finalize() first).
+  const FlitTrace& trace() const { return trace_; }
+  FlitTrace take() { return std::move(trace_); }
+
+ private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  /// Record index for uid, creating one if needed; kNil when unsampled.
+  std::uint32_t record_for(std::uint32_t uid);
+
+  std::uint32_t dst_id(const noc::Flit& f) const;
+
+  bool finalized_ = false;
+  FlitTrace trace_;
+
+  // Recording state: hop events arrive interleaved across flits, so each
+  // record keeps a linked chain into a shared hop pool; finalize()
+  // compacts the chains into the trace's contiguous columns.
+  std::unordered_map<std::uint32_t, std::uint32_t> by_uid_;
+  std::vector<TracedFlit> recs_;
+  std::vector<std::uint32_t> chain_head_;
+  std::vector<std::uint32_t> chain_tail_;
+  std::vector<TracedHop> pool_;
+  std::vector<std::uint32_t> pool_next_;
+};
+
+}  // namespace medea::telemetry

@@ -53,6 +53,18 @@ void DeflectionRouter::connect_output(Dir d, sim::Fifo<Flit>* link) {
 }
 
 void DeflectionRouter::tick(sim::Cycle now) {
+  // 0. Lifecycle tracing: announce inject-queue entries that became
+  //    visible this cycle (the FIFO wakes us whenever that happens, so
+  //    the enter cycle observed here is exact).  Read-only — peek never
+  //    perturbs FIFO timing — and skipped entirely unless the attached
+  //    observer opted into hop-level events.
+  if (lifecycle_ != nullptr) {
+    for (std::size_t i = q_announced_; i < inject_q_.size(); ++i) {
+      lifecycle_->on_queue_enter(now, node_id_, inject_q_.peek(i));
+    }
+    q_announced_ = inject_q_.size();
+  }
+
   // 1. Accept at most one flit per input link (hot potato: the router
   //    never stores flits, so everything accepted must leave this cycle).
   route_set_.clear();
@@ -147,6 +159,7 @@ void DeflectionRouter::tick(sim::Cycle now) {
     for (bool pf : port_free) any_free = any_free || pf;
     if (any_free) {
       Flit f = inject_q_.pop();
+      if (q_announced_ > 0) --q_announced_;
       f.inject_cycle = now;
       bool productive = false;
       const int port = pick_port(f, productive);
@@ -170,6 +183,10 @@ void DeflectionRouter::tick(sim::Cycle now) {
     bool was_productive = false;
     for (int p = 0; p < np; ++p) was_productive |= (prod[p] == assigned[i]);
     if (!was_productive) f.deflections++;
+    if (lifecycle_ != nullptr) {
+      lifecycle_->on_hop(now, node_id_, static_cast<int>(assigned[i]),
+                         !was_productive, f);
+    }
     auto* link = out_[static_cast<int>(assigned[i])];
     assert(link != nullptr && link->can_push() &&
            "NoC links must always drain (no back-pressure in hot potato)");

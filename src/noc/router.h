@@ -65,8 +65,14 @@ class DeflectionRouter : public sim::Component {
   sim::Fifo<Flit>& inject() { return inject_q_; }
   sim::Fifo<Flit>& eject() { return eject_q_; }
 
-  /// Attach (or detach with nullptr) a flit-event observer.
-  void set_observer(FlitObserver* obs) { observer_ = obs; }
+  /// Attach (or detach with nullptr) a flit-event observer.  The
+  /// hop-level lifecycle events are only fired when the observer asks
+  /// for them (FlitObserver::wants_lifecycle), cached here so the tick
+  /// path keeps its one-pointer-test cost otherwise.
+  void set_observer(FlitObserver* obs) {
+    observer_ = obs;
+    lifecycle_ = (obs != nullptr && obs->wants_lifecycle()) ? obs : nullptr;
+  }
 
   void tick(sim::Cycle now) override;
 
@@ -78,6 +84,10 @@ class DeflectionRouter : public sim::Component {
   sim::StatSet& stats_;
   sim::Xoshiro256 rng_;
   FlitObserver* observer_ = nullptr;
+  FlitObserver* lifecycle_ = nullptr;  ///< observer_ iff it wants hop events
+  /// Inject-queue entries already announced via on_queue_enter (a
+  /// watermark into the committed queue; decremented on pop).
+  std::size_t q_announced_ = 0;
 
   // Stat handles resolved once at construction; bumping these on the
   // tick path avoids the per-event string-keyed map lookup.

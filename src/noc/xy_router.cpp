@@ -61,6 +61,16 @@ int XyRouter::route(Coord dst) const {
 }
 
 void XyRouter::tick(sim::Cycle now) {
+  // 0. Lifecycle tracing: announce inject-queue entries that became
+  //    visible this cycle (same contract as DeflectionRouter; skipped
+  //    unless the observer opted into hop-level events).
+  if (lifecycle_ != nullptr) {
+    for (std::size_t i = q_announced_; i < inject_q_.size(); ++i) {
+      lifecycle_->on_queue_enter(now, node_id_, inject_q_.peek(i));
+    }
+    q_announced_ = inject_q_.size();
+  }
+
   // 1. Accept one flit per input link into the input buffers, space
   //    permitting (back-pressure: a full buffer leaves the flit on the
   //    link, which stalls the upstream router's output).
@@ -76,6 +86,7 @@ void XyRouter::tick(sim::Cycle now) {
   if (!inject_q_.empty() &&
       buf_[kNumDirs].size() < static_cast<std::size_t>(cfg_.input_buffer_depth)) {
     Flit f = inject_q_.pop();
+    if (q_announced_ > 0) --q_announced_;
     f.inject_cycle = now;
     if (observer_ != nullptr) observer_->on_inject(now, node_id_, f);
     buf_[kNumDirs].push_back(f);
@@ -112,6 +123,8 @@ void XyRouter::tick(sim::Cycle now) {
     q.pop_front();
     f.hops++;
     out_used[port] = true;
+    // XY routing is always minimal, so a hop is never a deflection.
+    if (lifecycle_ != nullptr) lifecycle_->on_hop(now, node_id_, port, false, f);
     link->push(f);
   }
   rr_ = (rr_ + 1) % (kNumDirs + 1);

@@ -59,8 +59,13 @@ class XyRouter : public sim::Component {
 
   /// Attach (or detach with nullptr) a flit-event observer — the same
   /// hook DeflectionRouter has, so the trace recorder can capture the
-  /// buffered-XY baseline for record/replay comparison studies.
-  void set_observer(FlitObserver* obs) { observer_ = obs; }
+  /// buffered-XY baseline for record/replay comparison studies.  Hop-
+  /// level events fire only for observers that want them (see
+  /// FlitObserver::wants_lifecycle), cached here off the tick path.
+  void set_observer(FlitObserver* obs) {
+    observer_ = obs;
+    lifecycle_ = (obs != nullptr && obs->wants_lifecycle()) ? obs : nullptr;
+  }
 
   void tick(sim::Cycle now) override;
 
@@ -80,6 +85,8 @@ class XyRouter : public sim::Component {
   bool torus_wrap_;
   sim::StatSet& stats_;
   FlitObserver* observer_ = nullptr;
+  FlitObserver* lifecycle_ = nullptr;  ///< observer_ iff it wants hop events
+  std::size_t q_announced_ = 0;  ///< inject-queue entries already announced
 
   /// Per-router delivery counter resolved once at construction, the
   /// source of telemetry's spatial ejection heatmaps (the fabric-wide

@@ -86,6 +86,15 @@ class Fifo : public Committable {
     return q_.front();
   }
 
+  /// Committed entry `i` (0 = front), without popping.  Routers use this
+  /// to announce newly visible inject-queue entries to a lifecycle
+  /// observer; it never touches staged data, so peeking cannot perturb
+  /// timing.
+  const T& peek(std::size_t i) const {
+    assert(i < q_.size());
+    return q_[i];
+  }
+
   T pop() {
     assert(!q_.empty());
     T v = std::move(q_.front());

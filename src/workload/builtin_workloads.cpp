@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "apps/alltoall.h"
@@ -28,6 +29,20 @@ namespace {
 template <typename Section>
 Section section_or_default(const std::optional<Section>& s) {
   return s.has_value() ? *s : Section{};
+}
+
+/// Memory-system series for app-workload timelines: the MPMMU's request
+/// stream, its local cache, and every core's PE + L1 counters (prefixed
+/// "core<rank>." so the per-core streams stay distinguishable).  A no-op
+/// unless the run attached a sampler, so untimed runs pay nothing.
+void add_memory_telemetry(ScopedTelemetry& telemetry, core::MedeaSystem& sys) {
+  telemetry.add("", sys.mpmmu().stats());
+  telemetry.add("mpmmu.", sys.mpmmu().cache().stats());
+  for (int r = 0; r < sys.num_cores(); ++r) {
+    const std::string prefix = "core" + std::to_string(r) + ".";
+    telemetry.add(prefix, sys.core(r).stats());
+    telemetry.add(prefix, sys.core(r).cache().stats());
+  }
 }
 
 /// Kernel pressure counters merged into every run's stats.  Only the
@@ -67,6 +82,7 @@ class JacobiWorkload final : public Workload {
     core::MedeaSystem sys(cfg);
     if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
     ScopedTelemetry telemetry(ctx, sys.scheduler(), sys.network().stats());
+    add_memory_telemetry(telemetry, sys);
 
     apps::JacobiParams jp;
     jp.n = ap.size > 0 ? ap.size : 30;
@@ -113,6 +129,7 @@ class ReductionWorkload final : public Workload {
     core::MedeaSystem sys(cfg);
     if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
     ScopedTelemetry telemetry(ctx, sys.scheduler(), sys.network().stats());
+    add_memory_telemetry(telemetry, sys);
 
     apps::ReductionParams rp;
     rp.elements = ap.size > 0 ? ap.size : 1024;
@@ -264,6 +281,7 @@ class AlltoallWorkload final : public Workload {
     core::MedeaSystem sys(cfg);
     if (noc::FlitObserver* o = ctx.observer()) sys.network().set_observer(o);
     ScopedTelemetry telemetry(ctx, sys.scheduler(), sys.network().stats());
+    add_memory_telemetry(telemetry, sys);
 
     apps::AlltoallParams aap;
     aap.words_per_pair = ap.size > 0 ? ap.size : 8;

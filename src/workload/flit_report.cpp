@@ -1,0 +1,233 @@
+#include "workload/flit_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "noc/coord.h"
+
+namespace medea::workload {
+
+namespace {
+
+std::string coord_str(std::uint16_t node, int width) {
+  if (width <= 0) return std::to_string(node);
+  noc::Coord c{static_cast<std::uint8_t>(node % width),
+               static_cast<std::uint8_t>(node / width)};
+  return c.to_string();
+}
+
+/// kNeverCycle-aware cycle rendering: -1 for "never observed".
+std::string cycle_or_missing(sim::Cycle c) {
+  return c == sim::kNeverCycle ? std::string("-1") : std::to_string(c);
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+struct DecompositionMeans {
+  double source_queue = 0.0;
+  double network = 0.0;
+  double eject_wait = 0.0;
+  double total = 0.0;
+  std::uint64_t complete = 0;
+};
+
+DecompositionMeans decomposition_means(const telemetry::FlitTrace& ft) {
+  DecompositionMeans m;
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    if (!f.complete) continue;
+    const telemetry::LatencyDecomposition d = ft.decompose(f);
+    m.source_queue += static_cast<double>(d.source_queue);
+    m.network += static_cast<double>(d.network);
+    m.eject_wait += static_cast<double>(d.eject_wait);
+    m.total += static_cast<double>(d.total());
+    ++m.complete;
+  }
+  if (m.complete > 0) {
+    const double n = static_cast<double>(m.complete);
+    m.source_queue /= n;
+    m.network /= n;
+    m.eject_wait /= n;
+    m.total /= n;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
+                                   const TimelineMeta& meta, int worst_k) {
+  const DecompositionMeans dm = decomposition_means(ft);
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"medea-flittrace-v1\",\n";
+  os << "  \"workload\": \"" << meta.workload << "\",\n";
+  os << "  \"seed\": " << meta.seed << ",\n";
+  os << "  \"noc\": {\"width\": " << ft.width << ", \"height\": " << ft.height
+     << "},\n";
+  os << "  \"sample_every\": " << ft.sample_every << ",\n";
+  os << "  \"run_cycles\": " << ft.run_cycles << ",\n";
+  os << "  \"packets_seen\": " << ft.packets_seen << ",\n";
+  os << "  \"packets_traced\": " << ft.flits.size() << ",\n";
+  os << "  \"packets_complete\": " << dm.complete << ",\n";
+  os << "  \"total_hops\": " << ft.hop_cycle.size() << ",\n";
+  os << "  \"total_deflections\": " << ft.total_deflections() << ",\n";
+  os << "  \"max_deflections\": " << ft.max_deflections() << ",\n";
+  os << "  \"latency\": {\"mean_source_queue\": " << fmt_double(dm.source_queue)
+     << ", \"mean_network\": " << fmt_double(dm.network)
+     << ", \"mean_eject_wait\": " << fmt_double(dm.eject_wait)
+     << ", \"mean_total\": " << fmt_double(dm.total) << "},\n";
+
+  const auto hist = [&](const std::map<std::uint32_t, std::uint64_t>& h) {
+    std::ostringstream e;
+    e << "[";
+    bool first = true;
+    for (const auto& [k, v] : h) {
+      e << (first ? "" : ", ") << "[" << k << ", " << v << "]";
+      first = false;
+    }
+    e << "]";
+    return e.str();
+  };
+  os << "  \"hop_histogram\": " << hist(ft.hop_histogram()) << ",\n";
+  os << "  \"deflection_histogram\": " << hist(ft.deflection_histogram())
+     << ",\n";
+
+  // Per-link utilization: for each direction one row-major WxH grid of
+  // traversal counts out of that node on that port (and the deflected
+  // subset) — the spatial congestion picture.
+  const auto grids = [&](const std::vector<std::uint64_t>& links) {
+    std::ostringstream e;
+    e << "[";
+    for (int d = 0; d < noc::kNumDirs; ++d) {
+      e << (d ? ", " : "") << "[";
+      for (int n = 0; n < ft.num_nodes(); ++n) {
+        e << (n ? "," : "")
+          << links[static_cast<std::size_t>(n) * noc::kNumDirs +
+                   static_cast<std::size_t>(d)];
+      }
+      e << "]";
+    }
+    e << "]";
+    return e.str();
+  };
+  os << "  \"links\": {\"dirs\": [\"N\", \"E\", \"S\", \"W\"], \"flits\": "
+     << grids(ft.link_flits()) << ", \"deflected\": "
+     << grids(ft.link_deflections()) << "},\n";
+
+  os << "  \"worst\": [";
+  bool first = true;
+  for (const telemetry::TracedFlit* f : ft.worst(worst_k)) {
+    const telemetry::LatencyDecomposition d = ft.decompose(*f);
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"uid\": " << f->uid << ", \"src\": " << f->src
+       << ", \"dst\": " << f->dst
+       << ", \"enqueue\": " << cycle_or_missing(f->enqueue_cycle)
+       << ", \"inject\": " << f->inject_cycle
+       << ", \"deliver\": " << f->deliver_cycle
+       << ", \"latency\": " << (f->deliver_cycle - f->inject_cycle)
+       << ", \"source_queue\": " << d.source_queue
+       << ", \"network\": " << d.network
+       << ", \"eject_wait\": " << d.eject_wait << ", \"hops\": " << f->hop_count
+       << ", \"deflections\": " << f->deflections << ", \"chain\": [";
+    for (std::uint32_t i = 0; i < f->hop_count; ++i) {
+      const telemetry::TracedHop h = ft.hop(f->first_hop + i);
+      os << (i ? ", " : "") << "[" << h.cycle << "," << h.node << ","
+         << static_cast<int>(h.port) << "," << static_cast<int>(h.deflected)
+         << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n";
+
+  // Full columnar tables — the machine-readable ground truth analyzers
+  // consume (sampling bounds their size; the worst/summary sections
+  // above are derivable from these).
+  const auto column = [&](const char* name, auto getter, bool last = false) {
+    os << "    \"" << name << "\": [";
+    for (std::size_t i = 0; i < ft.flits.size(); ++i) {
+      os << (i ? "," : "") << getter(ft.flits[i]);
+    }
+    os << "]" << (last ? "\n" : ",\n");
+  };
+  os << "  \"packets\": {\n";
+  column("uid", [](const auto& f) { return std::to_string(f.uid); });
+  column("src", [](const auto& f) { return std::to_string(f.src); });
+  column("dst", [](const auto& f) { return std::to_string(f.dst); });
+  column("enqueue",
+         [](const auto& f) { return cycle_or_missing(f.enqueue_cycle); });
+  column("inject",
+         [](const auto& f) { return cycle_or_missing(f.inject_cycle); });
+  column("deliver",
+         [](const auto& f) { return cycle_or_missing(f.deliver_cycle); });
+  column("first_hop", [](const auto& f) { return std::to_string(f.first_hop); });
+  column("hop_count", [](const auto& f) { return std::to_string(f.hop_count); });
+  column("deflections",
+         [](const auto& f) { return std::to_string(f.deflections); });
+  column("complete",
+         [](const auto& f) { return std::string(f.complete ? "1" : "0"); },
+         true);
+  os << "  },\n";
+
+  const auto hop_column = [&](const char* name, auto getter, bool last = false) {
+    os << "    \"" << name << "\": [";
+    for (std::size_t i = 0; i < ft.hop_cycle.size(); ++i) {
+      os << (i ? "," : "") << getter(i);
+    }
+    os << "]" << (last ? "\n" : ",\n");
+  };
+  os << "  \"hops\": {\n";
+  hop_column("cycle", [&](std::size_t i) { return ft.hop_cycle[i]; });
+  hop_column("node", [&](std::size_t i) { return ft.hop_node[i]; });
+  hop_column("port",
+             [&](std::size_t i) { return static_cast<int>(ft.hop_port[i]); });
+  hop_column("deflected",
+             [&](std::size_t i) { return static_cast<int>(ft.hop_deflected[i]); },
+             true);
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string format_worst_flits(const telemetry::FlitTrace& ft, int k) {
+  const DecompositionMeans dm = decomposition_means(ft);
+  std::ostringstream os;
+  os << "flit-trace forensics: " << ft.flits.size() << " packets traced ("
+     << ft.packets_seen << " seen, 1-in-" << ft.sample_every << "), "
+     << dm.complete << " complete, " << ft.hop_cycle.size() << " hops, "
+     << ft.total_deflections() << " deflections (max/packet "
+     << ft.max_deflections() << ")\n";
+  os << "mean latency " << fmt_double(dm.total) << " = source-queue "
+     << fmt_double(dm.source_queue) << " + network " << fmt_double(dm.network)
+     << " + eject-wait " << fmt_double(dm.eject_wait) << " cycles\n";
+
+  const auto worst = ft.worst(k);
+  os << "\nworst " << worst.size() << " packets by inject->deliver latency:\n";
+  int rank = 0;
+  for (const telemetry::TracedFlit* f : worst) {
+    const telemetry::LatencyDecomposition d = ft.decompose(*f);
+    os << "#" << ++rank << " uid " << f->uid << "  "
+       << coord_str(f->src, ft.width) << " -> " << coord_str(f->dst, ft.width)
+       << "  latency " << (f->deliver_cycle - f->inject_cycle) << " (queue "
+       << d.source_queue << " + network " << d.network << " + eject "
+       << d.eject_wait << ")  hops " << f->hop_count << "  deflections "
+       << f->deflections << "\n";
+    for (std::uint32_t i = 0; i < f->hop_count; ++i) {
+      const telemetry::TracedHop h = ft.hop(f->first_hop + i);
+      os << "    t=" << h.cycle << "  " << coord_str(h.node, ft.width) << " "
+         << noc::to_string(static_cast<noc::Dir>(h.port)) << "->"
+         << (h.deflected != 0 ? "  DEFLECTED" : "") << "\n";
+    }
+    os << "    t=" << f->deliver_cycle << "  delivered at "
+       << coord_str(f->dst, ft.width) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace medea::workload

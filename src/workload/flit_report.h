@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "noc/flit_tracer.h"
+#include "workload/timeline.h"
+
+/// \file flit_report.h
+/// Exporters over telemetry::FlitTrace: the self-describing flit-trace
+/// JSON dump ("medea-flittrace-v1", validated by
+/// scripts/check_telemetry.py --flit-trace) and the top-K worst-packet
+/// forensics text report.  The Perfetto flow-event rendering lives with
+/// the other trace_event machinery in timeline.h (format_chrome_trace).
+
+namespace medea::workload {
+
+/// Self-describing JSON: run identity, sampling setup, the latency
+/// decomposition summary, hop/deflection histograms, per-link (node x
+/// direction) utilization grids, the worst-K packets with their full hop
+/// chains, and the complete columnar packet/hop tables.
+std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
+                                   const TimelineMeta& meta, int worst_k = 8);
+
+/// Human-readable forensics: the k highest-latency packets, each with
+/// its latency decomposition and full hop chain (deflections flagged).
+std::string format_worst_flits(const telemetry::FlitTrace& ft, int k);
+
+}  // namespace medea::workload

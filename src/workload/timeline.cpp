@@ -176,9 +176,12 @@ std::string format_timeline_csv(const telemetry::Timeline& tl) {
   return os.str();
 }
 
-std::string format_chrome_trace(const telemetry::Timeline& tl,
-                                const TimelineMeta& meta,
-                                const std::vector<telemetry::HostSpan>& spans) {
+namespace {
+
+std::string format_chrome_trace_impl(
+    const telemetry::Timeline& tl, const TimelineMeta& meta,
+    const std::vector<telemetry::HostSpan>& spans,
+    const telemetry::FlitTrace* flits, int flow_packets) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -267,6 +270,67 @@ std::string format_chrome_trace(const telemetry::Timeline& tl,
     }
   }
 
+  // --- pid 1, flit flows: the worst packets' journeys across per-router
+  // thread tracks, connected by Perfetto flow arrows.  A slice is the
+  // flit's residency in one router ([arrival, departure] in cycles); the
+  // "s"/"t"/"f" events bind to those slices by (pid, tid, ts) and carry
+  // the flit uid as the flow id, which is what draws the arrows. ---
+  if (flits != nullptr && flits->enabled() && !flits->flits.empty()) {
+    const auto flow_ev = [&](const char* ph, std::uint32_t id, int tid,
+                             std::uint64_t ts, bool end_binding) {
+      std::ostringstream e;
+      e << "{\"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": " << tid
+        << ", \"name\": \"flit journey\", \"cat\": \"flit\", \"id\": " << id
+        << ", \"ts\": " << ts;
+      if (end_binding) e << ", \"bp\": \"e\"";
+      e << "}";
+      emit(e.str());
+    };
+    const auto router_tid = [](std::uint16_t node) {
+      return 100 + static_cast<int>(node);
+    };
+    const auto worst = flits->worst(flow_packets);
+
+    // Name the visited router tracks (once each).
+    std::vector<std::uint16_t> named;
+    const auto name_router = [&](std::uint16_t node) {
+      if (std::find(named.begin(), named.end(), node) != named.end()) return;
+      named.push_back(node);
+      std::string label = "router " + std::to_string(node);
+      if (flits->width > 0) {
+        label += " (" + std::to_string(node % flits->width) + "," +
+                 std::to_string(node / flits->width) + ")";
+      }
+      meta_ev(1, router_tid(node), "thread_name", label);
+    };
+    for (const telemetry::TracedFlit* f : worst) {
+      if (f->hop_count == 0) continue;
+      for (std::uint32_t i = 0; i < f->hop_count; ++i) {
+        name_router(flits->hop_node[f->first_hop + i]);
+      }
+      name_router(f->dst);
+    }
+
+    for (const telemetry::TracedFlit* f : worst) {
+      if (f->hop_count == 0) continue;
+      const std::string label = "flit " + std::to_string(f->uid);
+      sim::Cycle arrive = f->inject_cycle;
+      for (std::uint32_t i = 0; i < f->hop_count; ++i) {
+        const telemetry::TracedHop h = flits->hop(f->first_hop + i);
+        const std::uint64_t dur = h.cycle + 1 - arrive;
+        span_ev(1, router_tid(h.node),
+                h.deflected != 0 ? label + " (deflected)" : label, "flit",
+                arrive, dur);
+        flow_ev(i == 0 ? "s" : "t", f->uid, router_tid(h.node), arrive, false);
+        arrive = h.cycle + 1;
+      }
+      // Final residency at the destination until delivery.
+      span_ev(1, router_tid(f->dst), label, "flit", arrive,
+              f->deliver_cycle + 1 - arrive);
+      flow_ev("f", f->uid, router_tid(f->dst), arrive, true);
+    }
+  }
+
   // --- pid 2: host wall-clock spans from ProfileScope ---
   if (!spans.empty()) {
     meta_ev(2, 0, "process_name", "host (wall clock)");
@@ -288,6 +352,22 @@ std::string format_chrome_trace(const telemetry::Timeline& tl,
         "\"medea-chrome-trace-v1\", \"workload\": \""
      << json_escape(meta.workload) << "\", \"seed\": " << meta.seed << "}}\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string format_chrome_trace(const telemetry::Timeline& tl,
+                                const TimelineMeta& meta,
+                                const std::vector<telemetry::HostSpan>& spans) {
+  return format_chrome_trace_impl(tl, meta, spans, nullptr, 0);
+}
+
+std::string format_chrome_trace(const telemetry::Timeline& tl,
+                                const TimelineMeta& meta,
+                                const std::vector<telemetry::HostSpan>& spans,
+                                const telemetry::FlitTrace& flits,
+                                int flow_packets) {
+  return format_chrome_trace_impl(tl, meta, spans, &flits, flow_packets);
 }
 
 std::map<std::string, double> timeline_summary(const telemetry::Timeline& tl) {

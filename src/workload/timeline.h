@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "noc/flit_tracer.h"
 #include "sim/telemetry.h"
 #include "workload/measure.h"
 
@@ -53,6 +54,18 @@ std::string format_timeline_csv(const telemetry::Timeline& tl);
 std::string format_chrome_trace(const telemetry::Timeline& tl,
                                 const TimelineMeta& meta,
                                 const std::vector<telemetry::HostSpan>& spans);
+
+/// As above, additionally rendering a flit trace's worst `flow_packets`
+/// packet journeys into pid 1: one thread track per visited router
+/// (router residency as "X" slices) connected by Perfetto flow arrows
+/// ("s"/"t"/"f" events keyed by flit uid), so the highest-latency
+/// packets can be followed hop-by-hop across the fabric in
+/// ui.perfetto.dev.  An empty/disabled trace degrades to the plain form.
+std::string format_chrome_trace(const telemetry::Timeline& tl,
+                                const TimelineMeta& meta,
+                                const std::vector<telemetry::HostSpan>& spans,
+                                const telemetry::FlitTrace& flits,
+                                int flow_packets);
 
 /// Scalar roll-up for bench JSONs — every key starts with "timeline_"
 /// (bench_trend.py trends them by that prefix): window count, peak and

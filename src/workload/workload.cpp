@@ -1,7 +1,9 @@
 #include "workload/workload.h"
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 
 namespace medea::workload {
@@ -129,21 +131,48 @@ RunResult run_workload(const Workload& w, const RunRequest& req,
     sampler->finish(r.cycles);
     r.timeline = sampler->take();
   };
-  if (!req.measurement.collect && !req.measurement.phased) {
-    RunContext ctx{observer, nullptr, sampler ? &*sampler : nullptr};
-    RunResult r = w.run(req, ctx);
-    finish_timeline(r);
-    return r;
+  const bool measuring = req.measurement.collect || req.measurement.phased;
+  const bool tracing = req.flit_trace.sample_every > 0;
+  // noc_dims is only consulted when something needs the geometry (replay
+  // workloads answer it from the trace header, which costs a file load).
+  int width = 0, height = 0;
+  if (measuring || tracing) std::tie(width, height) = w.noc_dims(req);
+  std::optional<telemetry::FlitTracer> tracer;
+  if (tracing) {
+    tracer.emplace(req.flit_trace.sample_every, width, height);
   }
-  const auto [width, height] = w.noc_dims(req);
-  MeasurementController mc(req.measurement, width * height, observer);
-  RunContext ctx{observer, &mc, sampler ? &*sampler : nullptr};
+  const auto finish_trace = [&](RunResult& r) {
+    if (!tracer.has_value()) return;
+    tracer->finalize(r.cycles);
+    r.flit_trace = tracer->take();
+  };
+  // When tracing, every observer hangs off one tee (events arrive in
+  // add() order: controller, caller's observer, tracer — the same order
+  // the measurement controller's forward chain produced).  Without a
+  // tracer the pre-existing single-chain wiring is kept as-is.
+  std::optional<MeasurementController> mc;
+  if (measuring) {
+    mc.emplace(req.measurement, width * height,
+               tracing ? nullptr : observer);
+  }
+  noc::FlitObserverTee tee;
+  RunContext ctx{observer, mc ? &*mc : nullptr,
+                 sampler ? &*sampler : nullptr};
+  if (tracing) {
+    if (mc) tee.add(&*mc);
+    tee.add(observer);
+    tee.add(&*tracer);
+    ctx.fabric_override = &tee;
+  }
   RunResult r = w.run(req, ctx);
-  // Whole-run mode: the window is the entire run.  Phased runs were
-  // finalized by the driver already (finalize is idempotent).
-  mc.finalize(r.cycles, true);
-  r.measurement = mc.result();
+  if (mc) {
+    // Whole-run mode: the window is the entire run.  Phased runs were
+    // finalized by the driver already (finalize is idempotent).
+    mc->finalize(r.cycles, true);
+    r.measurement = mc->result();
+  }
   finish_timeline(r);
+  finish_trace(r);
   return r;
 }
 

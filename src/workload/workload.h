@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "noc/flit_tracer.h"
 #include "noc/traffic.h"
 #include "noc/xy_router.h"
 #include "sim/stats.h"
@@ -114,6 +115,19 @@ struct TelemetryParams {
   bool operator==(const TelemetryParams&) const = default;
 };
 
+/// Per-flit lifecycle tracing knobs (any workload kind): sampled hop
+/// chains into RunResult::flit_trace.  Tracing is strictly read-only —
+/// traced runs are bit-identical to untraced runs (the differential
+/// tests assert it); off (the default) costs nothing on the hot path.
+struct FlitTraceParams {
+  /// Trace 1-in-N packets by uid hash.  0 = off, 1 = every packet.
+  std::uint32_t sample_every = 0;
+  /// Packets in the worst-packet forensics report and Perfetto flows.
+  int worst_k = 8;
+
+  bool operator==(const FlitTraceParams&) const = default;
+};
+
 /// Everything a run needs: the machine, one kind-specific section, and
 /// the measurement setup.  Engage exactly the section your workload
 /// kind uses (or none, for defaults); the others must stay nullopt.
@@ -128,6 +142,7 @@ struct RunRequest {
 
   MeasurementParams measurement{};
   TelemetryParams telemetry{};
+  FlitTraceParams flit_trace{};
 };
 
 /// What a run produced.
@@ -146,6 +161,11 @@ struct RunResult {
   /// Cycle-domain time series (empty when telemetry.sample_every was 0).
   /// Export via workload/timeline.h.
   telemetry::Timeline timeline;
+
+  /// Sampled per-flit hop chains (disabled — flit_trace.enabled() false —
+  /// when flit_trace.sample_every was 0).  Export via
+  /// workload/flit_report.h.
+  telemetry::FlitTrace flit_trace;
 };
 
 /// Per-run plumbing handed to Workload::run() by the engine: the
@@ -158,9 +178,16 @@ struct RunContext {
   MeasurementController* measure = nullptr;
   telemetry::Sampler* sampler = nullptr;  ///< non-null when sampling is on
 
-  /// What to hang on the fabric: the controller when measuring (it
-  /// forwards to raw_observer), the raw observer otherwise.
+  /// Set by the engine when more than a single chain of observers must
+  /// see the fabric (e.g. measurement + recorder + flit tracer composed
+  /// through a FlitObserverTee); overrides the default choice below.
+  noc::FlitObserver* fabric_override = nullptr;
+
+  /// What to hang on the fabric: the engine's tee when set, else the
+  /// controller when measuring (it forwards to raw_observer), else the
+  /// raw observer.
   noc::FlitObserver* observer() const {
+    if (fabric_override != nullptr) return fabric_override;
     return measure != nullptr ? static_cast<noc::FlitObserver*>(measure)
                               : raw_observer;
   }
@@ -197,6 +224,13 @@ class ScopedTelemetry {
   }
   ~ScopedTelemetry() {
     if (sampler_ != nullptr) sampler_->finish(sched_.now());
+  }
+
+  /// Register a further StatSet under `prefix` (e.g. the MPMMU's and the
+  /// per-core caches' stats for app workloads, so --timeline carries the
+  /// memory system too).  No-op — and free — without sampling.
+  void add(const std::string& prefix, const sim::StatSet& stats) {
+    if (sampler_ != nullptr) sampler_->add_stats(prefix, stats);
   }
 
   ScopedTelemetry(const ScopedTelemetry&) = delete;

@@ -1,0 +1,446 @@
+/// Per-flit lifecycle tracing tests: the hop-chain invariants the
+/// tracer guarantees, the determinism contract (a traced run is
+/// bit-identical to an untraced one — tracing must *observe*, never
+/// perturb), sampling soundness, the latency decomposition, and the
+/// structure of the Perfetto flow-event rendering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "noc/coord.h"
+#include "noc/flit.h"
+#include "noc/flit_tracer.h"
+#include "workload/flit_report.h"
+#include "workload/timeline.h"
+#include "workload/workload.h"
+
+namespace medea {
+namespace {
+
+/// Raw delivery log in true dispatch order — the strongest observable
+/// for "tracing did not perturb the run".
+struct DeliveryLog final : noc::FlitObserver {
+  std::vector<std::tuple<sim::Cycle, int, std::uint32_t>> v;
+  void on_inject(sim::Cycle, int, const noc::Flit&) override {}
+  void on_deliver(sim::Cycle now, int node, const noc::Flit& f) override {
+    v.emplace_back(now, node, f.uid);
+  }
+};
+
+/// A deliberately congested 8x8 deflection-fabric request: enough load
+/// that ejection-port contention forces failed-eject deflection loops.
+workload::RunRequest saturated_8x8() {
+  workload::RunRequest req;
+  req.machine.noc_width = 8;
+  req.machine.noc_height = 8;
+  req.synthetic = workload::SyntheticParams{};
+  req.synthetic->injection_rate = 0.65;
+  req.synthetic->flits_per_node = 300;
+  req.seed = 3;
+  return req;
+}
+
+workload::RunRequest traced(workload::RunRequest req,
+                            std::uint32_t sample_every = 1) {
+  req.flit_trace.sample_every = sample_every;
+  return req;
+}
+
+void expect_runs_identical(const workload::RunResult& a,
+                           const workload::RunResult& b,
+                           const DeliveryLog& la, const DeliveryLog& lb,
+                           const std::string& what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.metric, b.metric) << what;
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered) << what;
+  EXPECT_EQ(a.measurement, b.measurement) << what;
+  EXPECT_EQ(la.v, lb.v) << what << ": delivery logs diverged";
+  EXPECT_EQ(a.stats.counters(), b.stats.counters()) << what;
+}
+
+// ---------------------------------------------------------------------
+// Determinism: tracing observes, never perturbs
+// ---------------------------------------------------------------------
+
+TEST(FlitTraceDeterminism, SaturatedDeflectionRunIsBitIdentical) {
+  const workload::RunRequest base = saturated_8x8();
+  DeliveryLog plain_log;
+  const workload::RunResult plain =
+      workload::run_by_name("uniform", base, &plain_log);
+  DeliveryLog traced_log;
+  const workload::RunResult with_trace =
+      workload::run_by_name("uniform", traced(base), &traced_log);
+  expect_runs_identical(plain, with_trace, plain_log, traced_log, "uniform");
+  EXPECT_FALSE(plain.flit_trace.enabled());
+  EXPECT_TRUE(with_trace.flit_trace.enabled());
+}
+
+TEST(FlitTraceDeterminism, XyFabricRunIsBitIdentical) {
+  workload::RunRequest base = saturated_8x8();
+  base.synthetic->network = "xy";
+  base.synthetic->injection_rate = 0.3;
+  DeliveryLog plain_log;
+  const workload::RunResult plain =
+      workload::run_by_name("transpose", base, &plain_log);
+  DeliveryLog traced_log;
+  const workload::RunResult with_trace =
+      workload::run_by_name("transpose", traced(base), &traced_log);
+  expect_runs_identical(plain, with_trace, plain_log, traced_log,
+                        "transpose/xy");
+}
+
+TEST(FlitTraceDeterminism, AppWorkloadRunIsBitIdentical) {
+  workload::RunRequest base;
+  base.machine.num_compute_cores = 4;
+  base.app = workload::AppParams{};
+  base.app->size = 10;
+  base.verify = true;
+  DeliveryLog plain_log;
+  const workload::RunResult plain =
+      workload::run_by_name("jacobi", base, &plain_log);
+  DeliveryLog traced_log;
+  const workload::RunResult with_trace =
+      workload::run_by_name("jacobi", traced(base), &traced_log);
+  expect_runs_identical(plain, with_trace, plain_log, traced_log, "jacobi");
+  EXPECT_TRUE(with_trace.verified_ok);
+}
+
+TEST(FlitTraceDeterminism, RerunsProduceEqualTraces) {
+  const workload::RunRequest req = traced(saturated_8x8());
+  const telemetry::FlitTrace a =
+      workload::run_by_name("uniform", req).flit_trace;
+  const telemetry::FlitTrace b =
+      workload::run_by_name("uniform", req).flit_trace;
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Hop-chain invariants (deflection fabric, every packet traced)
+// ---------------------------------------------------------------------
+
+class HopChainInvariants : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new workload::RunResult(
+        workload::run_by_name("uniform", traced(saturated_8x8())));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  const telemetry::FlitTrace& trace() const { return result_->flit_trace; }
+  static workload::RunResult* result_;
+};
+
+workload::RunResult* HopChainInvariants::result_ = nullptr;
+
+TEST_F(HopChainInvariants, EveryInjectedPacketIsTracedAndComplete) {
+  // sample_every == 1 and the run drains: every packet seen is traced,
+  // every traced packet delivered.
+  const telemetry::FlitTrace& ft = trace();
+  EXPECT_EQ(ft.packets_seen, ft.flits.size());
+  EXPECT_EQ(ft.flits.size(), result_->flits_delivered);
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    EXPECT_TRUE(f.complete) << "uid " << f.uid;
+  }
+}
+
+TEST_F(HopChainInvariants, ChainsStartAtInjectAndEndAtDelivery) {
+  const telemetry::FlitTrace& ft = trace();
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    ASSERT_GT(f.hop_count, 0u) << "uid " << f.uid;
+    const telemetry::TracedHop first = ft.hop(f.first_hop);
+    // The first hop leaves the source router during the inject cycle.
+    EXPECT_EQ(first.cycle, f.inject_cycle) << "uid " << f.uid;
+    EXPECT_EQ(first.node, f.src) << "uid " << f.uid;
+    // A link takes one cycle: the flit is accepted (and ejected) by the
+    // destination the cycle after its last recorded emission.
+    const telemetry::TracedHop last = ft.hop(f.first_hop + f.hop_count - 1);
+    EXPECT_EQ(f.deliver_cycle, last.cycle + 1) << "uid " << f.uid;
+    // Source queueing can only delay injection, never reorder it.
+    if (f.enqueue_cycle != sim::kNeverCycle) {
+      EXPECT_LE(f.enqueue_cycle, f.inject_cycle) << "uid " << f.uid;
+    }
+  }
+}
+
+TEST_F(HopChainInvariants, HopCyclesAreStrictlyMonotonic) {
+  const telemetry::FlitTrace& ft = trace();
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    for (std::uint32_t i = 1; i < f.hop_count; ++i) {
+      EXPECT_LT(ft.hop_cycle[f.first_hop + i - 1],
+                ft.hop_cycle[f.first_hop + i])
+          << "uid " << f.uid << " hop " << i;
+    }
+  }
+}
+
+TEST_F(HopChainInvariants, HopsFollowTorusLinks) {
+  // Each recorded hop's port must lead to the next hop's router (and the
+  // final hop to the destination) under the torus geometry.
+  const telemetry::FlitTrace& ft = trace();
+  const noc::TorusGeometry geom(ft.width, ft.height);
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    for (std::uint32_t i = 0; i < f.hop_count; ++i) {
+      const telemetry::TracedHop h = ft.hop(f.first_hop + i);
+      const noc::Coord from = geom.coord_of(h.node);
+      const int next = geom.node_id(
+          geom.neighbor(from, static_cast<noc::Dir>(h.port)));
+      const int expected = i + 1 < f.hop_count
+                               ? ft.hop_node[f.first_hop + i + 1]
+                               : f.dst;
+      EXPECT_EQ(next, expected) << "uid " << f.uid << " hop " << i;
+    }
+  }
+}
+
+TEST_F(HopChainInvariants, ChainDeflectionsMatchRouterVerdicts) {
+  const telemetry::FlitTrace& ft = trace();
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    // The per-hop deflected flags must sum to the flit's own counter —
+    // the router bumped both on the same port assignment.
+    EXPECT_EQ(ft.chain_deflections(f), f.deflections) << "uid " << f.uid;
+  }
+  // ... and across all packets to the fabric's aggregate counter.
+  EXPECT_EQ(ft.total_deflections(),
+            result_->stats.get("noc.deflections_total"));
+}
+
+TEST_F(HopChainInvariants, LinkGridsAccountForEveryHop) {
+  const telemetry::FlitTrace& ft = trace();
+  const std::vector<std::uint64_t> flits_grid = ft.link_flits();
+  const std::vector<std::uint64_t> defl_grid = ft.link_deflections();
+  ASSERT_EQ(flits_grid.size(),
+            static_cast<std::size_t>(ft.num_nodes()) * noc::kNumDirs);
+  std::uint64_t total = 0, defl = 0;
+  for (std::size_t i = 0; i < flits_grid.size(); ++i) {
+    total += flits_grid[i];
+    defl += defl_grid[i];
+    EXPECT_LE(defl_grid[i], flits_grid[i]);
+  }
+  EXPECT_EQ(total, ft.hop_cycle.size());
+  EXPECT_EQ(defl, ft.total_deflections());
+}
+
+TEST_F(HopChainInvariants, LatencyDecompositionSumsToTotal) {
+  const telemetry::FlitTrace& ft = trace();
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    const telemetry::LatencyDecomposition d = ft.decompose(f);
+    const sim::Cycle end_to_end =
+        f.deliver_cycle -
+        (f.enqueue_cycle != sim::kNeverCycle ? f.enqueue_cycle
+                                             : f.inject_cycle);
+    EXPECT_EQ(d.total(), end_to_end) << "uid " << f.uid;
+  }
+}
+
+TEST_F(HopChainInvariants, WorstPacketsAreSortedByLatency) {
+  const telemetry::FlitTrace& ft = trace();
+  const auto worst = ft.worst(16);
+  ASSERT_EQ(worst.size(), 16u);
+  for (std::size_t i = 1; i < worst.size(); ++i) {
+    const sim::Cycle prev =
+        worst[i - 1]->deliver_cycle - worst[i - 1]->inject_cycle;
+    const sim::Cycle cur = worst[i]->deliver_cycle - worst[i]->inject_cycle;
+    EXPECT_GE(prev, cur);
+    if (prev == cur) {
+      EXPECT_LT(worst[i - 1]->uid, worst[i]->uid);
+    }
+  }
+  // The top entry is the global maximum.
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    EXPECT_LE(f.deliver_cycle - f.inject_cycle,
+              worst[0]->deliver_cycle - worst[0]->inject_cycle);
+  }
+}
+
+TEST_F(HopChainInvariants, FlitTableIsSortedByInjectThenUid) {
+  const telemetry::FlitTrace& ft = trace();
+  for (std::size_t i = 1; i < ft.flits.size(); ++i) {
+    const auto& a = ft.flits[i - 1];
+    const auto& b = ft.flits[i];
+    EXPECT_TRUE(std::tie(a.inject_cycle, a.uid) <
+                std::tie(b.inject_cycle, b.uid));
+  }
+}
+
+TEST_F(HopChainInvariants, SaturationProducesFailedEjectLoops) {
+  // The scenario the forensics exist for: at this load some packet
+  // reaches its destination, fails ejection, and loops back — visible
+  // as eject_wait > 0 alongside real deflections.
+  const telemetry::FlitTrace& ft = trace();
+  EXPECT_GT(ft.total_deflections(), 0u);
+  EXPECT_GT(ft.max_deflections(), 0u);
+  bool some_eject_wait = false;
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    if (ft.decompose(f).eject_wait > 0) some_eject_wait = true;
+  }
+  EXPECT_TRUE(some_eject_wait);
+}
+
+// ---------------------------------------------------------------------
+// XY fabric semantics
+// ---------------------------------------------------------------------
+
+TEST(FlitTraceXy, MinimalRoutingNeverDeflects) {
+  workload::RunRequest req = saturated_8x8();
+  req.synthetic->network = "xy";
+  req.synthetic->injection_rate = 0.3;
+  const workload::RunResult r =
+      workload::run_by_name("transpose", traced(req));
+  const telemetry::FlitTrace& ft = r.flit_trace;
+  ASSERT_FALSE(ft.flits.empty());
+  EXPECT_EQ(ft.total_deflections(), 0u);
+  EXPECT_EQ(ft.max_deflections(), 0u);
+  for (const telemetry::TracedFlit& f : ft.flits) {
+    ASSERT_TRUE(f.complete);
+    const telemetry::TracedHop last = ft.hop(f.first_hop + f.hop_count - 1);
+    // Input buffering may hold the flit at the destination before the
+    // eject port wins allocation, but never deliver it early.
+    EXPECT_GE(f.deliver_cycle, last.cycle + 1) << "uid " << f.uid;
+    for (std::uint32_t i = 1; i < f.hop_count; ++i) {
+      EXPECT_LT(ft.hop_cycle[f.first_hop + i - 1],
+                ft.hop_cycle[f.first_hop + i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------
+
+TEST(FlitTraceSampling, SampledTraceIsAnExactSubsetOfTheFullTrace) {
+  const workload::RunRequest base = saturated_8x8();
+  const telemetry::FlitTrace full =
+      workload::run_by_name("uniform", traced(base, 1)).flit_trace;
+  const telemetry::FlitTrace sampled =
+      workload::run_by_name("uniform", traced(base, 4)).flit_trace;
+
+  // Same population seen; the sampled trace keeps exactly the uids the
+  // hash selects, with chains identical to the full trace's.
+  EXPECT_EQ(full.packets_seen, sampled.packets_seen);
+  ASSERT_FALSE(sampled.flits.empty());
+  EXPECT_LT(sampled.flits.size(), full.flits.size());
+
+  std::size_t matched = 0;
+  for (const telemetry::TracedFlit& f : full.flits) {
+    EXPECT_EQ(telemetry::flit_sampled(f.uid, 4),
+              matched < sampled.flits.size() &&
+                  sampled.flits[matched].uid == f.uid)
+        << "uid " << f.uid;
+    if (matched < sampled.flits.size() && sampled.flits[matched].uid == f.uid) {
+      const telemetry::TracedFlit& s = sampled.flits[matched];
+      EXPECT_EQ(s.inject_cycle, f.inject_cycle);
+      EXPECT_EQ(s.deliver_cycle, f.deliver_cycle);
+      EXPECT_EQ(s.deflections, f.deflections);
+      ASSERT_EQ(s.hop_count, f.hop_count);
+      for (std::uint32_t i = 0; i < f.hop_count; ++i) {
+        EXPECT_EQ(sampled.hop_cycle[s.first_hop + i],
+                  full.hop_cycle[f.first_hop + i]);
+        EXPECT_EQ(sampled.hop_node[s.first_hop + i],
+                  full.hop_node[f.first_hop + i]);
+      }
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, sampled.flits.size());
+}
+
+// ---------------------------------------------------------------------
+// Exporters: Perfetto flows and the JSON/text reports
+// ---------------------------------------------------------------------
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(FlitTraceExport, PerfettoFlowEventsAreStructurallySound) {
+  const workload::RunResult r =
+      workload::run_by_name("uniform", traced(saturated_8x8()));
+  workload::TimelineMeta meta;
+  meta.workload = "uniform";
+  meta.noc_width = 8;
+  meta.noc_height = 8;
+  const int k = 5;
+  const std::string doc = workload::format_chrome_trace(
+      r.timeline, meta, {}, r.flit_trace, k);
+
+  // One flow start and one flow finish per rendered packet; every
+  // finish carries the enclosing-slice binding.
+  EXPECT_EQ(count_of(doc, "\"ph\": \"s\""), static_cast<std::size_t>(k));
+  EXPECT_EQ(count_of(doc, "\"ph\": \"f\""), static_cast<std::size_t>(k));
+  EXPECT_EQ(count_of(doc, "\"bp\": \"e\""), static_cast<std::size_t>(k));
+  // Steps = total hops of the worst-k minus one start per packet.
+  std::size_t hops = 0;
+  for (const telemetry::TracedFlit* f : r.flit_trace.worst(k)) {
+    hops += f->hop_count;
+  }
+  EXPECT_EQ(count_of(doc, "\"ph\": \"t\""),
+            hops - static_cast<std::size_t>(k));
+  // Flit-cat events: residency slices (one per hop plus the final
+  // destination residency) and the flow events (one per slice).
+  EXPECT_EQ(count_of(doc, "\"cat\": \"flit\""),
+            2 * (hops + static_cast<std::size_t>(k)));
+  // The untraced overload emits no flow machinery at all.
+  const std::string plain =
+      workload::format_chrome_trace(r.timeline, meta, {});
+  EXPECT_EQ(count_of(plain, "\"ph\": \"s\""), 0u);
+  EXPECT_EQ(count_of(plain, "flit journey"), 0u);
+}
+
+TEST(FlitTraceExport, JsonAndTextReportsCarryTheHeadlineNumbers) {
+  const workload::RunResult r =
+      workload::run_by_name("uniform", traced(saturated_8x8()));
+  workload::TimelineMeta meta;
+  meta.workload = "uniform";
+  const std::string json =
+      workload::format_flit_trace_json(r.flit_trace, meta, 4);
+  EXPECT_NE(json.find("\"schema\": \"medea-flittrace-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"packets_traced\": " +
+                      std::to_string(r.flit_trace.flits.size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_deflections\": " +
+                      std::to_string(r.flit_trace.total_deflections())),
+            std::string::npos);
+  EXPECT_EQ(count_of(json, "\"uid\":"),
+            4u + 1u);  // 4 worst entries + the packets column header
+
+  const std::string text = workload::format_worst_flits(r.flit_trace, 3);
+  EXPECT_NE(text.find("worst 3 packets"), std::string::npos);
+  EXPECT_NE(text.find("DEFLECTED"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Unit coverage for the sampling hash
+// ---------------------------------------------------------------------
+
+TEST(FlitSampled, EveryUidWhenNIsZeroOrOne) {
+  for (std::uint32_t uid : {0u, 1u, 17u, 123456u}) {
+    EXPECT_TRUE(telemetry::flit_sampled(uid, 0));
+    EXPECT_TRUE(telemetry::flit_sampled(uid, 1));
+  }
+}
+
+TEST(FlitSampled, RateIsRoughlyOneInN) {
+  const std::uint32_t n = 8;
+  std::size_t hits = 0;
+  const std::uint32_t population = 100000;
+  for (std::uint32_t uid = 0; uid < population; ++uid) {
+    if (telemetry::flit_sampled(uid, n)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / population;
+  EXPECT_NEAR(rate, 1.0 / n, 0.02);
+}
+
+}  // namespace
+}  // namespace medea

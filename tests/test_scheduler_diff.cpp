@@ -161,6 +161,40 @@ TEST(SchedulerDiff, TraceReplayIsBitIdentical) {
   check_workload_identical("replay", req);
 }
 
+TEST(SchedulerDiff, FlitTracedRunIsBitIdenticalAcrossKernelsAndToUntraced) {
+  // Lifecycle tracing rides the same determinism contract: the tracer
+  // only observes, so a traced run must match the untraced one exactly,
+  // and the finalized trace itself must be kernel-independent.
+  workload::RunRequest req = tiny_req(calendar_cfg(), "uniform");
+  req.synthetic->injection_rate = 0.8;
+  req.synthetic->flits_per_node = 150;
+  req.flit_trace.sample_every = 1;
+
+  req.machine.scheduler = calendar_cfg();
+  DeliveryLog cal_log;
+  const workload::RunResult cal = workload::run_by_name("uniform", req, &cal_log);
+  req.machine.scheduler = legacy_cfg();
+  DeliveryLog heap_log;
+  const workload::RunResult heap =
+      workload::run_by_name("uniform", req, &heap_log);
+  EXPECT_EQ(cal.cycles, heap.cycles);
+  EXPECT_EQ(cal_log.v, heap_log.v) << "traced delivery logs diverged";
+  EXPECT_EQ(cal.flit_trace, heap.flit_trace)
+      << "flit traces diverged across kernels";
+  expect_stats_identical(cal.stats, heap.stats, "traced uniform");
+
+  // Tracing off, same kernel: nothing observable may change.
+  workload::RunRequest untraced = req;
+  untraced.machine.scheduler = calendar_cfg();
+  untraced.flit_trace.sample_every = 0;
+  DeliveryLog plain_log;
+  const workload::RunResult plain =
+      workload::run_by_name("uniform", untraced, &plain_log);
+  EXPECT_EQ(cal.cycles, plain.cycles);
+  EXPECT_EQ(cal_log.v, plain_log.v) << "tracing perturbed the run";
+  expect_stats_identical(cal.stats, plain.stats, "traced-vs-untraced");
+}
+
 TEST(SchedulerDiff, JacobiFullSweepPointIsBitIdentical) {
   // A 15-core design point: the PE-dense configuration whose wake/frame
   // churn the calendar queue and frame pool exist for.
