@@ -8,12 +8,17 @@
 /// makes the DSE methodology practical.
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "apps/jacobi.h"
 #include "core/medea.h"
 #include "dse/sweep.h"
 #include "harness.h"
+#include "noc/network.h"
+#include "noc/traffic.h"
+#include "sim/domain.h"
 #include "sim/frame_pool.h"
 
 using namespace medea;
@@ -82,12 +87,104 @@ bench::Measurement design_point(const bench::RunOptions& opt, int cores,
   return m;
 }
 
+/// Shard-count axis: uniform-random deflection traffic on a WxH torus
+/// under the sharded parallel kernel.  `shards` follows
+/// SchedulerConfig::num_shards semantics (0 = one per hardware thread);
+/// 1 runs the single-thread calendar baseline the speedup is measured
+/// against.  Exports the parallel-efficiency metrics alongside
+/// sim_speed: barrier wait (load imbalance), mailbox traffic
+/// (cross-shard flit volume), and the adaptive ring sizing counters.
+bench::Measurement sharded_traffic(const bench::RunOptions& opt, int width,
+                                   int height, int shards, int flits) {
+  sim::SchedulerConfig scfg;
+  if (shards != 1) {
+    scfg.queue = sim::SchedulerConfig::EventQueue::kShardedCalendar;
+    scfg.num_shards = shards;
+  }
+  const int resolved = sim::SimDomain::resolve_shards(scfg, height);
+  std::uint64_t barrier_ns = 0, mailbox = 0, channels = 0;
+  std::uint64_t bucket = 0, overflow = 0;
+  std::uint32_t ring_bits = 0, suggested = 0;
+  auto m = bench::run_case(
+      "uniform_" + std::to_string(width) + "x" + std::to_string(height) +
+          "/shards" + std::to_string(resolved),
+      "pattern=uniform rate=0.30 flits_per_node=" + std::to_string(flits) +
+          " network=deflection shards=" + std::to_string(resolved),
+      opt, [&] {
+        sim::SimDomain dom(scfg, height);
+        const noc::TorusGeometry geom(width, height);
+        noc::Network net(dom, geom, {}, 1);
+        noc::TrafficConfig tc;
+        tc.pattern = noc::TrafficPattern::kUniformRandom;
+        tc.injection_rate = 0.30;
+        tc.flits_per_node = flits;
+        tc.seed = 1;
+        (void)noc::run_traffic(dom, net, tc);
+        barrier_ns = dom.barrier_wait_ns();
+        mailbox = net.mailbox_flits();
+        channels = net.num_shard_channels();
+        bucket = dom.bucket_pushes();
+        overflow = dom.overflow_pushes();
+        ring_bits = dom.shard(0).ring_bits_chosen();
+        suggested = dom.shard(0).suggested_ring_bits(0.99);
+        return dom.now();
+      });
+  m.metric("shards", static_cast<double>(resolved));
+  m.metric("barrier_wait_ns", static_cast<double>(barrier_ns));
+  m.metric("mailbox_flits", static_cast<double>(mailbox));
+  m.metric("shard_channels", static_cast<double>(channels));
+  m.metric("sched_bucket_pushes", static_cast<double>(bucket));
+  m.metric("sched_overflow_pushes", static_cast<double>(overflow));
+  m.metric("ring_bits_chosen", static_cast<double>(ring_bits));
+  m.metric("ring_bits_suggested", static_cast<double>(suggested));
+  return m;
+}
+
+/// The shard counts one axis sweeps: 1/2/4/max by default, or the
+/// single count the --shards=N filter selected.  Deduplicated after
+/// clamping to the fabric height (a 4-row torus caps at 4 shards).
+std::vector<int> shard_axis(int only_shards, int height) {
+  std::vector<int> raw =
+      only_shards >= 0 ? std::vector<int>{only_shards}
+                       : std::vector<int>{1, 2, 4, 0 /* max */};
+  std::vector<int> counts;
+  for (int s : raw) {
+    sim::SchedulerConfig scfg;
+    scfg.queue = sim::SchedulerConfig::EventQueue::kShardedCalendar;
+    scfg.num_shards = s;
+    const int resolved =
+        s == 1 ? 1 : sim::SimDomain::resolve_shards(scfg, height);
+    bool dup = false;
+    for (int c : counts) dup = dup || c == resolved;
+    if (!dup) counts.push_back(s == 1 ? 1 : s);
+  }
+  return counts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --shards=N restricts the run to the sharded-traffic axis at exactly
+  // N shards (CI smoke mode); the full run covers the app design points
+  // plus the 1/2/4/max shard axis on both fabric scales.
+  int only_shards = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--shards=", 0) == 0) only_shards = std::atoi(a.c_str() + 9);
+  }
   bench::Report report("sim_speed", argc, argv);
-  report.add(design_point(report.options(), 2, 2));    // worst: miss-dominated
-  report.add(design_point(report.options(), 8, 16));   // mid
-  report.add(design_point(report.options(), 15, 64));  // best: compute-bound
+  if (only_shards < 0) {
+    report.add(design_point(report.options(), 2, 2));    // worst: miss-dominated
+    report.add(design_point(report.options(), 8, 16));   // mid
+    report.add(design_point(report.options(), 15, 64));  // best: compute-bound
+  }
+  // The 15-core fabric (4x4 torus) and the paper's 60x60 scale: the
+  // small fabric shows the overhead floor, the big one the speedup.
+  for (int s : shard_axis(only_shards, 4)) {
+    report.add(sharded_traffic(report.options(), 4, 4, s, 2000));
+  }
+  for (int s : shard_axis(only_shards, 60)) {
+    report.add(sharded_traffic(report.options(), 60, 60, s, 200));
+  }
   return report.finish();
 }

@@ -131,6 +131,14 @@ const std::vector<Flag>& flag_table() {
        }},
       {"machine", "--verify", "", "", "check against the host reference",
        [](Cli& c, const char*) { c.req.verify = true; }},
+      {"machine", "--shards", "", "N",
+       "run the sharded parallel kernel with N threads (0 = one per "
+       "hardware thread; results are bit-identical to --shards=1)",
+       [](Cli& c, const char* v) {
+         c.req.machine.scheduler.queue =
+             sim::SchedulerConfig::EventQueue::kShardedCalendar;
+         c.req.machine.scheduler.num_shards = std::atoi(v);
+       }},
 
       // --- synthetic (SyntheticParams) ---
       {"synthetic", "--injection-rate", "--rate", "R",

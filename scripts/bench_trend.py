@@ -90,6 +90,44 @@ def print_single(label, cases):
         cyc_cell = f"{cycles:>14.0f}" if cycles is not None else f"{'-':>14}"
         print(f"{bench + '/' + name:<44} {fmt_speed(c.get('sim_speed'))} "
               f"{cyc_cell} {p99_cell}")
+    print_shard_speedup(cases)
+
+
+def print_shard_speedup(cases):
+    """Within-run parallel-kernel summary: for every case family named
+    '<base>/shardsN', the speedup of each shard count over that family's
+    shards1 single-thread baseline, with the barrier-wait share and the
+    mailbox traffic that bought it.  Silent when the run has no sharded
+    cases (older BENCH_*.json vintages)."""
+    families = {}
+    for (bench, name), c in cases.items():
+        base, sep, tail = name.rpartition("/shards")
+        if not sep or not tail.isdigit():
+            continue
+        families.setdefault((bench, base), {})[int(tail)] = c
+    printable = {k: v for k, v in families.items() if 1 in v and len(v) > 1}
+    if not printable:
+        return
+    print(f"\n{'sharded kernel':<44} {'shards':>6} {'Mcyc/s':>10} "
+          f"{'speedup':>8} {'barrier%':>9} {'mbox_flits':>11}")
+    for (bench, base), by_count in sorted(printable.items()):
+        baseline = by_count[1].get("sim_speed") or 0.0
+        for count in sorted(by_count):
+            c = by_count[count]
+            speed = c.get("sim_speed") or 0.0
+            speedup = speed / baseline if baseline > 0 else 0.0
+            wall = c.get("wall_ns") or 0.0
+            barrier = metric_of(c, "barrier_wait_ns")
+            # Barrier wait is summed over shards; normalize per shard so
+            # 100% means "threads did nothing but wait".
+            share = (100.0 * barrier / (wall * count)
+                     if barrier is not None and wall > 0 and count > 0
+                     else None)
+            share_cell = f"{share:8.1f}%" if share is not None else f"{'-':>9}"
+            mbox = metric_of(c, "mailbox_flits")
+            mbox_cell = f"{mbox:11.0f}" if mbox is not None else f"{'-':>11}"
+            print(f"{bench + '/' + base:<44} {count:>6} {fmt_speed(speed)} "
+                  f"{speedup:7.2f}x {share_cell} {mbox_cell}")
 
 
 def print_metric_trend(runs, first, last, keys, metric, title, decimals=0):
@@ -181,6 +219,14 @@ def main():
                        "p99 latency (cycles)")
     print_metric_trend(runs, first, last, keys, "max_deflections",
                        "max per-packet deflections")
+    # Parallel-kernel health: barrier wait trending up means growing
+    # load imbalance, mailbox flits changing means the partition (or the
+    # traffic) moved across the seams.
+    print_metric_trend(runs, first, last, keys, "barrier_wait_ns",
+                       "barrier wait (ns, summed over shards)")
+    print_metric_trend(runs, first, last, keys, "mailbox_flits",
+                       "cross-shard mailbox flits")
+    print_shard_speedup(last)
     for metric in timeline_metrics(first, last, keys):
         print_metric_trend(runs, first, last, keys, metric, metric,
                            decimals=3)

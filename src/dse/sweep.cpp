@@ -51,6 +51,7 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
   workload::RunRequest req;
   req.machine = make_design_config(cores, cache_kb, policy);
   req.machine.workload = name;
+  req.machine.scheduler = spec.scheduler;
   switch (w.kind()) {
     case workload::WorkloadKind::kApp: {
       workload::AppParams ap;

@@ -64,6 +64,14 @@ struct SweepSpec {
   int threads = 0;  ///< 0 = hardware concurrency
   AreaModel area{};
 
+  /// Event-queue kernel every design point runs on (default: the
+  /// single-thread calendar queue).  kShardedCalendar runs each point
+  /// on the sharded parallel kernel — results stay bit-identical, so
+  /// it is purely a speed knob; prefer it when the sweep grid is
+  /// smaller than the machine (few big points), and keep the default
+  /// when `threads` already saturates the host (shards multiply).
+  sim::SchedulerConfig scheduler{};
+
   /// Live progress on stderr while the sweep runs: a single updating
   /// line with completed/total points, points/sec and ETA — the "is it
   /// still making progress" signal for long DSE runs.  Off by default

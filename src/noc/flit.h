@@ -74,6 +74,15 @@ struct FlitFormat {
 /// Maximum flits per logic packet, limited by the SEQNUM field width.
 inline constexpr int kMaxPacketFlits = 1 << FlitFormat::kSeqNumBits;
 
+/// Simulation-only flit uid layout for per-node allocation:
+/// uid = (node << kFlitUidSeqBits) | seq, seq starting at 1.  Endpoint
+/// uid draws depend only on the node's own injection history — never on
+/// within-cycle tick order or shard interleaving — which keeps the
+/// router's oldest-first uid tie-break bit-identical across kernels.
+/// 20 sequence bits leave 12 node bits: up to 4096 nodes and ~1M flits
+/// per node per run (both asserted where used).
+inline constexpr std::uint32_t kFlitUidSeqBits = 20;
+
 /// One 64-bit flit, decoded.
 struct Flit {
   // --- encoded fields (Fig. 5) ---

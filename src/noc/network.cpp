@@ -1,5 +1,7 @@
 #include "noc/network.h"
 
+#include <utility>
+
 namespace medea::noc {
 
 namespace {
@@ -18,23 +20,112 @@ Dir opposite(Dir d) {
 }
 }  // namespace
 
+/// Per-shard flit-event buffer.  Routers of one shard record their
+/// events here during the parallel dispatch phase; the domain's serial
+/// end-of-cycle flush replays every shard's buffer — in shard order,
+/// which with contiguous row bands is canonical node order — into the
+/// real observer.  Events carry their original cycle, so the observer
+/// sees exactly the stream a single-thread run produces.
+class Network::ShardEventBuffer final : public FlitObserver {
+ public:
+  explicit ShardEventBuffer(Network& net) : net_(net) {}
+
+  void on_inject(sim::Cycle now, int node, const Flit& f) override {
+    events_.push_back({Kind::kInject, now, node, 0, false, f});
+  }
+  void on_deliver(sim::Cycle now, int node, const Flit& f) override {
+    events_.push_back({Kind::kDeliver, now, node, 0, false, f});
+  }
+  void on_queue_enter(sim::Cycle now, int node, const Flit& f) override {
+    events_.push_back({Kind::kQueueEnter, now, node, 0, false, f});
+  }
+  void on_hop(sim::Cycle now, int node, int out_port, bool deflected,
+              const Flit& f) override {
+    events_.push_back({Kind::kHop, now, node, out_port, deflected, f});
+  }
+  bool wants_lifecycle() const override {
+    // Forwarded so routers gate hop events exactly as they would with
+    // the target attached directly (checked at set_observer time).
+    return net_.obs_target_ != nullptr && net_.obs_target_->wants_lifecycle();
+  }
+
+  void flush_to(FlitObserver* obs) {
+    if (obs != nullptr) {
+      for (const Event& e : events_) {
+        switch (e.kind) {
+          case Kind::kInject: obs->on_inject(e.now, e.node, e.flit); break;
+          case Kind::kDeliver: obs->on_deliver(e.now, e.node, e.flit); break;
+          case Kind::kQueueEnter:
+            obs->on_queue_enter(e.now, e.node, e.flit);
+            break;
+          case Kind::kHop:
+            obs->on_hop(e.now, e.node, e.out_port, e.deflected, e.flit);
+            break;
+        }
+      }
+    }
+    events_.clear();
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kInject, kDeliver, kQueueEnter, kHop };
+  struct Event {
+    Kind kind;
+    sim::Cycle now;
+    int node;
+    int out_port;
+    bool deflected;
+    Flit flit;
+  };
+
+  Network& net_;
+  std::vector<Event> events_;
+};
+
+void Network::ShardChannel::relay(void* ctx, std::vector<Flit>& staged) {
+  auto* ch = static_cast<ShardChannel*>(ctx);
+  for (Flit& f : staged) ch->mail.push_back(std::move(f));
+}
+
 Network::Network(sim::Scheduler& sched, const TorusGeometry& geom,
                  const RouterConfig& cfg, std::uint64_t seed)
     : geom_(geom), cfg_(cfg) {
+  build_single(sched, seed);
+}
+
+Network::Network(sim::SimDomain& dom, const TorusGeometry& geom,
+                 const RouterConfig& cfg, std::uint64_t seed)
+    : geom_(geom), cfg_(cfg) {
+  if (!dom.sharded()) {
+    // Transparent fallback: a 1-shard domain builds the exact network a
+    // plain Scheduler would (same construction order, same RNG draws).
+    build_single(dom.shard(0), seed);
+    return;
+  }
+  dom_ = &dom;
+  build_sharded(seed);
+}
+
+Network::~Network() = default;
+
+void Network::build_single(sim::Scheduler& sched, std::uint64_t seed) {
+  const int n = geom_.num_nodes();
+  node_seq_.assign(static_cast<std::size_t>(n), 0);
+  node_sched_.assign(static_cast<std::size_t>(n), &sched);
   // Expand the network seed into one private stream per router (see the
   // DeflectionRouter constructor comment: per-router generators keep
   // stochastic tie-breaks independent of within-cycle tick order).
   sim::SplitMix64 streams(seed);
-  routers_.reserve(static_cast<std::size_t>(geom_.num_nodes()));
-  for (int id = 0; id < geom_.num_nodes(); ++id) {
+  routers_.reserve(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
     routers_.push_back(std::make_unique<DeflectionRouter>(
-        sched, geom_, geom_.coord_of(id), cfg, stats_, streams.next()));
+        sched, geom_, geom_.coord_of(id), cfg_, stats_, streams.next()));
   }
   // One unidirectional link per (router, direction).  The link leaving
   // router R through direction d enters neighbour(R, d) through the
   // opposite port.  On 1-wide or 1-tall tori a link can loop back to its
   // own router; the wiring below handles that uniformly.
-  for (int id = 0; id < geom_.num_nodes(); ++id) {
+  for (int id = 0; id < n; ++id) {
     const Coord from = geom_.coord_of(id);
     for (int d = 0; d < kNumDirs; ++d) {
       const Dir dir = static_cast<Dir>(d);
@@ -50,8 +141,139 @@ Network::Network(sim::Scheduler& sched, const TorusGeometry& geom,
   }
 }
 
+void Network::build_sharded(std::uint64_t seed) {
+  const int n = geom_.num_nodes();
+  const int num_shards = dom_->num_shards();
+  const int height = geom_.height();
+  node_seq_.assign(static_cast<std::size_t>(n), 0);
+  node_sched_.resize(static_cast<std::size_t>(n));
+  shard_of_node_.resize(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    // Contiguous row bands: row r belongs to shard r*S/H, so node ids
+    // within a shard are contiguous (canonical-order fan-in relies on
+    // this) and band heights differ by at most one row.
+    shard_of_node_[static_cast<std::size_t>(id)] =
+        static_cast<int>(geom_.coord_of(id).y) * num_shards / height;
+  }
+  shard_stats_.reserve(static_cast<std::size_t>(num_shards));
+  shard_obs_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shard_stats_.push_back(std::make_unique<sim::StatSet>());
+    shard_obs_.push_back(std::make_unique<ShardEventBuffer>(*this));
+  }
+  shard_channels_.resize(static_cast<std::size_t>(num_shards));
+  shard_mail_count_.assign(static_cast<std::size_t>(num_shards), 0);
+
+  // Routers, in node order on every shard: the RNG stream draws and the
+  // component construction order (the canonical dispatch key, global via
+  // the domain's shared counter) match the single-thread build exactly.
+  sim::SplitMix64 streams(seed);
+  routers_.reserve(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    const int s = shard_of_node_[static_cast<std::size_t>(id)];
+    node_sched_[static_cast<std::size_t>(id)] = &dom_->shard(s);
+    routers_.push_back(std::make_unique<DeflectionRouter>(
+        dom_->shard(s), geom_, geom_.coord_of(id), cfg_,
+        *shard_stats_[static_cast<std::size_t>(s)], streams.next()));
+  }
+
+  // Links.  A link whose endpoints share a shard is an ordinary FIFO on
+  // that shard's scheduler.  A shard-crossing link (vertical links at
+  // band boundaries, torus wrap included) splits into a producer-side
+  // TX FIFO relaying into the channel mailbox and a consumer-side RX
+  // FIFO the consumer shard's drain phase fills.
+  for (int id = 0; id < n; ++id) {
+    const Coord from = geom_.coord_of(id);
+    const int sp = shard_of_node_[static_cast<std::size_t>(id)];
+    for (int d = 0; d < kNumDirs; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      const Coord to = geom_.neighbor(from, dir);
+      const int to_id = geom_.node_id(to);
+      const int sc = shard_of_node_[static_cast<std::size_t>(to_id)];
+      const std::string name = "link" + from.to_string() + to_string(dir) +
+                               "->" + to.to_string();
+      if (sp == sc) {
+        auto link = std::make_unique<sim::Fifo<Flit>>(dom_->shard(sp), name,
+                                                      kLinkCapacity);
+        routers_[static_cast<std::size_t>(id)]->connect_output(dir,
+                                                               link.get());
+        router(to).connect_input(opposite(dir), link.get());
+        links_.push_back(std::move(link));
+      } else {
+        auto tx = std::make_unique<sim::Fifo<Flit>>(dom_->shard(sp),
+                                                    name + ".tx",
+                                                    kLinkCapacity);
+        auto rx = std::make_unique<sim::Fifo<Flit>>(dom_->shard(sc),
+                                                    name + ".rx",
+                                                    kLinkCapacity);
+        routers_[static_cast<std::size_t>(id)]->connect_output(dir, tx.get());
+        router(to).connect_input(opposite(dir), rx.get());  // sets consumer
+        auto ch = std::make_unique<ShardChannel>();
+        ch->rx = rx.get();
+        tx->set_relay(&ShardChannel::relay, ch.get());
+        shard_channels_[static_cast<std::size_t>(sc)].push_back(ch.get());
+        channels_.push_back(std::move(ch));
+        links_.push_back(std::move(tx));
+        links_.push_back(std::move(rx));
+      }
+    }
+  }
+
+  for (int s = 0; s < num_shards; ++s) {
+    dom_->add_shard_drain(
+        s, [this, s](sim::Cycle now) { drain_shard(s, now); });
+  }
+  dom_->add_cycle_end([this](sim::Cycle) { flush_observer_events(); });
+  dom_->add_pre_sample([this] { refresh_stats(); });
+}
+
+void Network::drain_shard(int s, sim::Cycle now) {
+  for (ShardChannel* ch : shard_channels_[static_cast<std::size_t>(s)]) {
+    if (ch->mail.empty()) continue;
+    shard_mail_count_[static_cast<std::size_t>(s)] += ch->mail.size();
+    for (Flit& f : ch->mail) ch->rx->push_committed(std::move(f));
+    ch->mail.clear();
+    // The wake the producer-side relay skipped: new data visible at
+    // now+1, issued on the consumer's own scheduler (shard s).
+    sim::Component* consumer = ch->rx->consumer();
+    assert(consumer != nullptr);
+    dom_->shard(s).wake_at(*consumer, now + 1);
+  }
+}
+
+void Network::flush_observer_events() {
+  for (auto& buf : shard_obs_) buf->flush_to(obs_target_);
+}
+
+void Network::refresh_stats() {
+  if (shard_stats_.empty()) return;
+  stats_.clear();
+  for (const auto& ss : shard_stats_) stats_.merge(*ss);
+}
+
+std::uint64_t Network::mailbox_flits() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : shard_mail_count_) total += c;
+  return total;
+}
+
 void Network::set_observer(FlitObserver* obs) {
-  for (auto& r : routers_) r->set_observer(obs);
+  obs_target_ = obs;
+  if (dom_ == nullptr || shard_obs_.empty()) {
+    for (auto& r : routers_) r->set_observer(obs);
+    return;
+  }
+  // Sharded: routers record into their shard's buffer; the domain's
+  // serial phase replays the buffers into `obs` in canonical order.
+  for (int id = 0; id < num_nodes(); ++id) {
+    FlitObserver* target =
+        obs == nullptr
+            ? nullptr
+            : shard_obs_[static_cast<std::size_t>(
+                             shard_of_node_[static_cast<std::size_t>(id)])]
+                  .get();
+    routers_[static_cast<std::size_t>(id)]->set_observer(target);
+  }
 }
 
 }  // namespace medea::noc

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "noc/coord.h"
 #include "noc/flit.h"
 #include "noc/router.h"
+#include "sim/domain.h"
 #include "sim/fifo.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
@@ -24,6 +26,29 @@
 /// paper's switch RTL has.  (The FIFO capacity is 2 purely because of the
 /// kernel's pop-frees-space-next-cycle bookkeeping; steady-state occupancy
 /// is at most one flit, which tests assert.)
+///
+/// ## Sharded construction (sim::SimDomain)
+///
+/// The domain-based constructor partitions the torus into contiguous row
+/// bands, one per shard: every router, link and local queue of a band
+/// lives on that shard's scheduler, and the vertical links crossing a
+/// band boundary (torus wrap included) are split into a producer-side
+/// FIFO that relays into a per-edge SPSC mailbox and a consumer-side
+/// FIFO the domain's drain phase fills (see sim/domain.h for the phase
+/// protocol).  Row bands keep node ids contiguous per shard, which is
+/// what makes shard-ordered observer fan-in reproduce the canonical
+/// global event order bit-for-bit.  Per-shard StatSets keep the tick
+/// path race-free; stats() exposes the shard-merged aggregate, rebuilt
+/// by refresh_stats() (run helpers call it after a run; telemetry
+/// sampling refreshes automatically through the domain's pre-sample
+/// hook).  Deflection links never back-pressure (can_push() is an
+/// assert), so the relay split is timing-exact.
+///
+/// Flit uids are assigned per source node ((node << 20) | seq) so uid
+/// allocation — which feeds the router's oldest-first tie-break — never
+/// depends on within-cycle interleaving; single-thread and sharded runs
+/// therefore draw identical uid streams.  PEs/MPMMU traffic (app runs,
+/// always single-shard) keeps the global next_flit_uid() counter.
 
 namespace medea::noc {
 
@@ -31,6 +56,15 @@ class Network {
  public:
   Network(sim::Scheduler& sched, const TorusGeometry& geom,
           const RouterConfig& cfg = {}, std::uint64_t seed = 1);
+
+  /// Sharded construction: partition the torus across `dom`'s shards in
+  /// contiguous row bands.  With a single-shard domain this is exactly
+  /// the Scheduler constructor.
+  Network(sim::SimDomain& dom, const TorusGeometry& geom,
+          const RouterConfig& cfg = {}, std::uint64_t seed = 1);
+
+  // Out of line: unique_ptr members over types declared below.
+  ~Network();
 
   const TorusGeometry& geometry() const { return geom_; }
   int num_nodes() const { return geom_.num_nodes(); }
@@ -48,15 +82,55 @@ class Network {
   DeflectionRouter& router(int node_id) { return *routers_[node_id]; }
   DeflectionRouter& router(Coord c) { return router(geom_.node_id(c)); }
 
+  /// Shard that owns `node_id`'s row band (always 0 when built on a
+  /// plain Scheduler or a single-shard domain).
+  int shard_of(int node_id) const {
+    return shard_of_node_.empty() ? 0 : shard_of_node_[node_id];
+  }
+
+  /// The scheduler `node_id`'s components run on — endpoints attached
+  /// to a node must be constructed against this scheduler.
+  sim::Scheduler& sched_of(int node_id) {
+    return *node_sched_[static_cast<std::size_t>(node_id)];
+  }
+
+  /// Shard-merged aggregate statistics.  Live in single-shard mode; in
+  /// sharded mode a snapshot — refresh_stats() rebuilds it (run helpers
+  /// call it after the run, the telemetry pre-sample hook during it).
   sim::StatSet& stats() { return stats_; }
   const sim::StatSet& stats() const { return stats_; }
 
+  /// Rebuild stats() from the per-shard sets (no-op in single mode).
+  void refresh_stats();
+
+  /// Flits that crossed a shard boundary through a mailbox (0 in single
+  /// mode) — the bench's cross-shard traffic metric.
+  std::uint64_t mailbox_flits() const;
+  /// Shard-boundary channel count (0 in single mode).
+  std::size_t num_shard_channels() const { return channels_.size(); }
+
   /// Attach a flit-event observer to every router (nullptr detaches).
   /// The workload trace recorder and determinism tests hang off this.
+  /// In sharded mode events are buffered per shard and replayed to the
+  /// observer in canonical order from the domain's serial phase.
   void set_observer(FlitObserver* obs);
 
-  /// Fresh unique flit id (for tracing and deterministic tie-breaks).
+  /// Fresh unique flit id (for tracing and deterministic tie-breaks) —
+  /// the global stream used by the PE/MPMMU interfaces (app runs,
+  /// single-shard by construction).
   std::uint32_t next_flit_uid() { return next_uid_++; }
+
+  /// Fresh unique flit id from `node`'s private stream:
+  /// (node << 20) | per-node sequence.  Synthetic traffic uses this so
+  /// uid allocation is independent of within-cycle interleaving — the
+  /// sharded kernel's bit-identity depends on it.
+  std::uint32_t node_flit_uid(int node) {
+    auto& seq = node_seq_[static_cast<std::size_t>(node)];
+    ++seq;
+    assert(seq < (1u << kFlitUidSeqBits) &&
+           "per-node flit uid space exhausted");
+    return (static_cast<std::uint32_t>(node) << kFlitUidSeqBits) | seq;
+  }
 
   /// Reserve uid space: make the next next_flit_uid() return at least
   /// `floor`.  Trace replay uses this so re-injected flits keep their
@@ -66,12 +140,43 @@ class Network {
   }
 
  private:
+  /// One shard-boundary link: the producer-side FIFO relays committed
+  /// flits into `mail`; the consumer shard's drain phase moves them
+  /// into `rx` and wakes its consumer at t+1.
+  struct ShardChannel {
+    sim::Fifo<Flit>* rx = nullptr;
+    std::vector<Flit> mail;
+    static void relay(void* ctx, std::vector<Flit>& staged);
+  };
+
+  /// Per-shard observer buffer: records the shard's flit events during
+  /// the parallel phase, replays them to the real observer from the
+  /// domain's serial flush.
+  class ShardEventBuffer;
+
+  void build_single(sim::Scheduler& sched, std::uint64_t seed);
+  void build_sharded(std::uint64_t seed);
+  void drain_shard(int s, sim::Cycle now);
+  void flush_observer_events();
+
   TorusGeometry geom_;
   RouterConfig cfg_;
   sim::StatSet stats_;
   std::vector<std::unique_ptr<DeflectionRouter>> routers_;
   std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;
   std::uint32_t next_uid_ = 1;
+  std::vector<std::uint32_t> node_seq_;
+
+  // --- sharded-mode state (empty / unused in single mode) ---
+  sim::SimDomain* dom_ = nullptr;
+  std::vector<sim::Scheduler*> node_sched_;  ///< per node (both modes)
+  std::vector<int> shard_of_node_;
+  std::vector<std::unique_ptr<sim::StatSet>> shard_stats_;
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+  std::vector<std::vector<ShardChannel*>> shard_channels_;  ///< per shard
+  std::vector<std::uint64_t> shard_mail_count_;             ///< per shard
+  std::vector<std::unique_ptr<ShardEventBuffer>> shard_obs_;
+  FlitObserver* obs_target_ = nullptr;
 };
 
 }  // namespace medea::noc

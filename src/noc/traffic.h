@@ -6,6 +6,7 @@
 
 #include "noc/coord.h"
 #include "noc/flit.h"
+#include "sim/domain.h"
 #include "sim/fifo.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
@@ -103,7 +104,9 @@ struct TrafficConfig {
 
 /// One traffic endpoint attached to node `node` of fabric N (Network or
 /// XyNetwork: anything with inject(int)/eject(int)/geometry()/
-/// next_flit_uid()).
+/// node_flit_uid()).  Endpoints must be constructed against the node's
+/// own scheduler (net.sched_of(node)) so sharded fabrics keep each
+/// node's generator on its shard.
 ///
 /// Budget mode (flits_per_node > 0) self-terminates after the budget is
 /// spent — the classic "drain a fixed batch" run.  Unlimited mode
@@ -145,7 +148,7 @@ class TrafficEndpoint : public sim::Component {
         f.type = FlitType::kMessage;
         f.subtype = kMpData;
         f.src_id = static_cast<std::uint8_t>(node_ & 0xFF);
-        f.uid = net_.next_flit_uid();
+        f.uid = net_.node_flit_uid(node_);
         f.inject_cycle = now;
         inj.push(f);
         ++attempts_;
@@ -203,6 +206,27 @@ int run_traffic(sim::Scheduler& sched, N& net, const TrafficConfig& cfg,
     eps.push_back(std::make_unique<TrafficEndpoint<N>>(sched, net, i, cfg));
   }
   sched.run(limit);
+  int total = 0;
+  for (auto& e : eps) total += e->received();
+  return total;
+}
+
+/// Sharded variant: endpoints are constructed on their node's shard
+/// scheduler, the domain runs the lockstep loop, and the fabric's
+/// aggregate stats are refreshed before returning.  Bit-identical
+/// results to the Scheduler overload (same endpoint construction order,
+/// same per-node RNG and uid streams).
+template <typename N>
+int run_traffic(sim::SimDomain& dom, N& net, const TrafficConfig& cfg,
+                sim::Cycle limit = 50'000'000) {
+  std::vector<std::unique_ptr<TrafficEndpoint<N>>> eps;
+  eps.reserve(static_cast<std::size_t>(net.num_nodes()));
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    eps.push_back(
+        std::make_unique<TrafficEndpoint<N>>(net.sched_of(i), net, i, cfg));
+  }
+  dom.run(limit);
+  net.refresh_stats();
   int total = 0;
   for (auto& e : eps) total += e->received();
   return total;

@@ -18,7 +18,8 @@ Dir opposite(Dir d) {
 
 XyNetwork::XyNetwork(sim::Scheduler& sched, const TorusGeometry& geom,
                      const XyRouterConfig& cfg, bool torus_wrap)
-    : geom_(geom), cfg_(cfg), torus_wrap_(torus_wrap) {
+    : geom_(geom), cfg_(cfg), torus_wrap_(torus_wrap), sched_(sched) {
+  node_seq_.assign(static_cast<std::size_t>(geom_.num_nodes()), 0);
   routers_.reserve(static_cast<std::size_t>(geom_.num_nodes()));
   for (int id = 0; id < geom_.num_nodes(); ++id) {
     routers_.push_back(std::make_unique<XyRouter>(

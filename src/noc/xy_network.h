@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,10 @@ class XyNetwork {
   XyNetwork(sim::Scheduler& sched, const TorusGeometry& geom,
             const XyRouterConfig& cfg = {}, bool torus_wrap = false);
 
+  /// The scheduler every node runs on (the XY baseline never shards;
+  /// mirror of Network::sched_of so traffic templates work unchanged).
+  sim::Scheduler& sched_of(int /*node_id*/) { return sched_; }
+
   const TorusGeometry& geometry() const { return geom_; }
   int num_nodes() const { return geom_.num_nodes(); }
 
@@ -39,12 +44,27 @@ class XyNetwork {
   sim::StatSet& stats() { return stats_; }
   const sim::StatSet& stats() const { return stats_; }
 
+  /// No-op (stats() is always live): mirror of Network::refresh_stats so
+  /// fabric-generic run helpers compile against either network.
+  void refresh_stats() {}
+
   /// Attach a flit-event observer to every router (nullptr detaches).
   /// Gives the buffered-XY baseline the same record/replay capability
   /// the deflection fabric has.
   void set_observer(FlitObserver* obs);
 
   std::uint32_t next_flit_uid() { return next_uid_++; }
+
+  /// Fresh unique flit id from `node`'s private stream — same scheme as
+  /// Network::node_flit_uid, so the shared traffic templates draw
+  /// identical uid sequences on either fabric.
+  std::uint32_t node_flit_uid(int node) {
+    auto& seq = node_seq_[static_cast<std::size_t>(node)];
+    ++seq;
+    assert(seq < (1u << kFlitUidSeqBits) &&
+           "per-node flit uid space exhausted");
+    return (static_cast<std::uint32_t>(node) << kFlitUidSeqBits) | seq;
+  }
 
   /// Reserve uid space: make the next next_flit_uid() return at least
   /// `floor` (trace replay keeps recorded uids collision-free with it).
@@ -59,10 +79,12 @@ class XyNetwork {
   TorusGeometry geom_;
   XyRouterConfig cfg_;
   bool torus_wrap_;
+  sim::Scheduler& sched_;
   sim::StatSet stats_;
   std::vector<std::unique_ptr<XyRouter>> routers_;
   std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;
   std::uint32_t next_uid_ = 1;
+  std::vector<std::uint32_t> node_seq_;
 };
 
 }  // namespace medea::noc

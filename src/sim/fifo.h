@@ -47,6 +47,38 @@ class Fifo : public Committable {
   void set_consumer(Component* c) { consumer_ = c; }
   /// Component to wake when a full FIFO frees space.
   void set_producer(Component* c) { producer_ = c; }
+  Component* consumer() const { return consumer_; }
+
+  // ------------------------------------------------------------------
+  // Shard-boundary relay (sim::SimDomain cross-shard links)
+  // ------------------------------------------------------------------
+
+  /// Boundary-relay hook: when set, commit() hands the cycle's staged
+  /// batch to `fn` (a mailbox append on the producer shard) instead of
+  /// appending to the committed queue and waking the consumer.  The
+  /// consumer-side half of the split link receives the batch next via
+  /// push_committed() in the domain's drain phase, which reproduces the
+  /// shared-FIFO timing exactly (push at T -> visible at T+1).
+  ///
+  /// Only sound for channels whose producer never observes occupancy
+  /// (the deflection fabric's links: no back-pressure, can_push() is an
+  /// assert) — a relayed FIFO's committed queue stays empty, so
+  /// producer_occupancy() undercounts in-flight entries.
+  using RelayFn = void (*)(void* ctx, std::vector<T>& staged);
+  void set_relay(RelayFn fn, void* ctx) {
+    relay_ = fn;
+    relay_ctx_ = ctx;
+  }
+
+  /// Consumer-side delivery of relayed entries: append directly to the
+  /// committed queue (the domain drain phase runs strictly between
+  /// cycles, standing in for the producer shard's commit()).  The caller
+  /// wakes the consumer; this keeps the wake on the consumer's own
+  /// scheduler.
+  void push_committed(T v) {
+    assert(capacity_ == 0 || q_.size() < capacity_);
+    q_.push_back(std::move(v));
+  }
 
   // ------------------------------------------------------------------
   // Producer interface
@@ -109,6 +141,16 @@ class Fifo : public Committable {
   // ------------------------------------------------------------------
 
   void commit() override {
+    if (relay_ != nullptr) {
+      // Boundary link: the staged batch crosses to the consumer shard's
+      // mailbox; the drain phase over there delivers it and issues the
+      // consumer wake this branch skips.
+      if (!staged_.empty()) relay_(relay_ctx_, staged_);
+      staged_.clear();
+      popped_this_cycle_ = 0;
+      commit_stamp_ = kNeverCycle;
+      return;
+    }
     const bool gained_data = !staged_.empty();
     for (auto& v : staged_) q_.push_back(std::move(v));
     staged_.clear();
@@ -153,6 +195,8 @@ class Fifo : public Committable {
   mutable bool push_blocked_ = false;
   Component* consumer_ = nullptr;
   Component* producer_ = nullptr;
+  RelayFn relay_ = nullptr;
+  void* relay_ctx_ = nullptr;
 };
 
 }  // namespace medea::sim

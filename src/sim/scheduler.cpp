@@ -14,21 +14,50 @@ constexpr std::size_t kNodeBlockSize = 64;
 }  // namespace
 
 Component::Component(Scheduler& sched, std::string name)
-    : sched_(sched), name_(std::move(name)) {
+    : sched_(sched),
+      name_(std::move(name)),
+      order_(sched.next_component_order()) {
   hook_.comp = this;
 }
 
 void Component::wake(Cycle delta) { sched_.wake_at(*this, sched_.now() + delta); }
 
 Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg) {
+  if (cfg_.ring_bits == 0) {
+    // Auto-size from the caller's horizon hint: the smallest ring
+    // covering twice the hint (slack for jitter), the former fixed
+    // default when no hint was given.
+    cfg_.ring_bits =
+        cfg_.horizon_hint == 0
+            ? 10
+            : static_cast<std::uint32_t>(std::bit_width(cfg_.horizon_hint)) + 1;
+  }
   cfg_.ring_bits = std::clamp<std::uint32_t>(cfg_.ring_bits, 6, 20);
-  use_calendar_ = cfg_.queue == SchedulerConfig::EventQueue::kCalendar;
+  // A sharded config reaching a plain Scheduler is the single-shard
+  // fallback (full-system apps, the XY baseline, shard schedulers
+  // themselves): it runs the calendar kernel.
+  use_calendar_ = cfg_.queue != SchedulerConfig::EventQueue::kBinaryHeap;
   if (use_calendar_) {
+    ring_bits_chosen_ = cfg_.ring_bits;
     const std::size_t ring_size = std::size_t{1} << cfg_.ring_bits;
     ring_mask_ = ring_size - 1;
     ring_.resize(ring_size);
     ring_bitmap_.resize(ring_size / 64, 0);
   }
+}
+
+std::uint32_t Scheduler::suggested_ring_bits(double coverage) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : horizon_hist_) total += n;
+  if (total == 0) return 6;
+  const auto target = static_cast<std::uint64_t>(
+      coverage * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < horizon_hist_.size(); ++b) {
+    seen += horizon_hist_[b];
+    if (seen >= target) return std::clamp<std::uint32_t>(b, 6, 20);
+  }
+  return 20;
 }
 
 Scheduler::~Scheduler() = default;
@@ -109,6 +138,10 @@ void Scheduler::wake_at(Component& c, Cycle at) {
     return;
   }
   c.last_wake_cycle_ = at;
+  // Wake-horizon histogram (ring auto-sizing calibration): one
+  // bit_width per surviving push, far off the critical path next to the
+  // queue insert below.
+  ++horizon_hist_[std::bit_width(at - now_)];
   // Route by horizon: wakes within the calendar ring become an O(1)
   // bucket append; anything further out (or the whole load, under the
   // legacy kernel) goes through the binary heap.
@@ -175,20 +208,50 @@ void Scheduler::drain_bucket(Cycle t) {
   }
 }
 
+void Scheduler::dispatch_cycle(Cycle t) {
+  now_ = t;
+  ++active_cycles_;
+
+  // Gather every component woken for this cycle, then dispatch.  The
+  // gather/dispatch split guarantees that wake_at() calls made inside
+  // tick() (which must target t+1 or later) never join this batch.
+  dispatch_batch_.clear();
+  while (!heap_.empty() && heap_.top().cycle == t) {
+    Component* c = heap_.top().component;
+    heap_.pop();
+    if (c->last_ticked_ == t) continue;  // dedup same-cycle wakes
+    c->last_ticked_ = t;
+    dispatch_batch_.push_back(c);
+  }
+  if (use_calendar_) drain_bucket(t);
+
+  // Canonical within-cycle order: sort by component construction
+  // sequence (see the file comment in scheduler.h).  The batch arrives
+  // mostly sorted (wakes are dominated by the previous cycle's commit
+  // sweep, which itself ran in canonical order), so the sort is cheap.
+  std::sort(dispatch_batch_.begin(), dispatch_batch_.end(),
+            [](const Component* a, const Component* b) {
+              return a->order() < b->order();
+            });
+
+  dispatching_ = true;
+  for (Component* c : dispatch_batch_) c->tick(t);
+  dispatching_ = false;
+
+  // End-of-cycle commit: staged channel pushes/pops become visible,
+  // which may wake consumers/producers at t+1.
+  commit_batch_.swap(commit_list_);
+  for (Committable* c : commit_batch_) c->commit();
+  commit_batch_.clear();
+}
+
 bool Scheduler::run(Cycle limit) {
   stop_requested_ = false;
   while (!stop_requested_) {
-    // Next event time across both tiers.  Any overflow entry for cycle
-    // t was pushed while t was beyond the ring horizon — i.e. earlier
-    // (in wake-request order) than every bucket entry for t — so
-    // draining the heap before the bucket reproduces the legacy
-    // kernel's global FIFO seq order exactly.
-    Cycle t = use_calendar_ ? next_ring_cycle() : kNeverCycle;
-    if (!heap_.empty() && heap_.top().cycle < t) t = heap_.top().cycle;
+    const Cycle t = next_event_cycle();
     if (t == kNeverCycle) break;  // both tiers drained: idle
     if (t > limit) return false;
     now_ = t;
-    ++active_cycles_;
 
     // Telemetry sampling point: fires before any component ticks, so
     // the hook observes end-of-previous-cycle state.  Disabled hooks
@@ -197,28 +260,7 @@ bool Scheduler::run(Cycle limit) {
       hook_next_ = hook_->on_cycle(t);
     }
 
-    // Gather every component woken for this cycle, then dispatch.  The
-    // gather/dispatch split guarantees that wake_at() calls made inside
-    // tick() (which must target t+1 or later) never join this batch.
-    dispatch_batch_.clear();
-    while (!heap_.empty() && heap_.top().cycle == t) {
-      Component* c = heap_.top().component;
-      heap_.pop();
-      if (c->last_ticked_ == t) continue;  // dedup same-cycle wakes
-      c->last_ticked_ = t;
-      dispatch_batch_.push_back(c);
-    }
-    if (use_calendar_) drain_bucket(t);
-
-    dispatching_ = true;
-    for (Component* c : dispatch_batch_) c->tick(t);
-    dispatching_ = false;
-
-    // End-of-cycle commit: staged channel pushes/pops become visible,
-    // which may wake consumers/producers at t+1.
-    commit_batch_.swap(commit_list_);
-    for (Committable* c : commit_batch_) c->commit();
-    commit_batch_.clear();
+    dispatch_cycle(t);
   }
   return true;
 }

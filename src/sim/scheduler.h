@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <iosfwd>
@@ -35,9 +36,15 @@
 /// pointer bump with zero allocation.  Far-future wakes (DDR-scale
 /// delays, idle-period jumps) overflow into the old binary heap, which
 /// stays selectable as the whole kernel for differential testing.
-/// Dispatch order is bit-identical between the two kernels: within a
-/// cycle, components tick in wake-request (FIFO seq) order, and every
-/// overflow entry for a cycle predates every bucket entry for it.
+/// Dispatch order is bit-identical between every kernel (calendar,
+/// binary heap, and the sharded executor in sim/domain.h): within a
+/// cycle the gathered batch is sorted by component construction order —
+/// a canonical order that is identical however the wake requests arrived
+/// and however the model is partitioned across shards.  The contract
+/// already makes within-cycle tick order unobservable (staged commits),
+/// so the canonical order changes no simulation result; it exists so
+/// observer event streams (delivery logs, flit traces) are comparable
+/// bit-for-bit across kernels.
 
 namespace medea::sim {
 
@@ -96,10 +103,17 @@ class Component {
   /// Request a tick at now+delta (delta >= 1 while the clock is running).
   void wake(Cycle delta = 1);
 
+  /// Global construction sequence number — the canonical within-cycle
+  /// dispatch order (see the file comment).  Shard schedulers created by
+  /// one SimDomain share a single counter, so the order is global across
+  /// the whole partitioned model.
+  std::uint64_t order() const { return order_; }
+
  private:
   friend class Scheduler;
   Scheduler& sched_;
   std::string name_;
+  std::uint64_t order_;              // canonical dispatch order key
   Cycle last_ticked_ = kNeverCycle;  // dedup guard for same-cycle wakes
   Cycle last_wake_cycle_ = 0;        // push-time dedup stamp (see wake_at)
   detail::WakeNode hook_;            // intrusive calendar-bucket hook
@@ -149,6 +163,23 @@ class Scheduler {
   std::uint64_t bucket_pushes() const { return bucket_pushes_; }
   std::uint64_t overflow_pushes() const { return overflow_pushes_; }
 
+  /// Effective log2 ring size after clamping / auto-sizing (0 under the
+  /// kBinaryHeap kernel, which has no ring).
+  std::uint32_t ring_bits_chosen() const { return ring_bits_chosen_; }
+
+  /// Observed wake-horizon histogram: bucket k counts surviving pushes
+  /// whose horizon (at - now) had bit_width k, i.e. fell in
+  /// [2^(k-1), 2^k); bucket 0 counts zero-horizon pushes (at == now,
+  /// legal between runs).  The basis for ring auto-sizing calibration.
+  const std::array<std::uint64_t, 65>& wake_horizon_histogram() const {
+    return horizon_hist_;
+  }
+
+  /// Smallest ring_bits (clamped to [6, 20]) whose ring would have
+  /// absorbed at least `coverage` of the observed wake horizons — what
+  /// SchedulerConfig::horizon_hint should be tuned toward.
+  std::uint32_t suggested_ring_bits(double coverage = 0.999) const;
+
   /// Register a staged object for commit at the end of the current cycle.
   /// Idempotent per cycle only if the caller guards; cheap either way.
   /// Fifo guards with an epoch stamp (one registration per FIFO per
@@ -194,6 +225,51 @@ class Scheduler {
 
   bool idle() const { return ring_count_ == 0 && heap_.empty(); }
 
+  // ------------------------------------------------------------------
+  // Sharded-executor interface (sim::SimDomain).  A SimDomain drives
+  // several shard schedulers in lockstep: per global cycle it asks each
+  // shard for its next event time, min-reduces across shards, then has
+  // due shards dispatch_cycle(t) and idle shards fast_forward(t).  The
+  // single-thread run() loop is built from the same pieces, so the two
+  // execution modes cannot drift apart.
+  // ------------------------------------------------------------------
+
+  /// Earliest pending event time across both tiers (kNeverCycle: idle).
+  Cycle next_event_cycle() const {
+    Cycle t = use_calendar_ ? next_ring_cycle() : kNeverCycle;
+    if (!heap_.empty() && heap_.top().cycle < t) t = heap_.top().cycle;
+    return t;
+  }
+
+  /// Dispatch one cycle: gather the batch woken for `t` (which must be
+  /// next_event_cycle()), tick it in canonical component order, and run
+  /// the end-of-cycle commit phase.  Does not fire the cycle hook — the
+  /// caller (run() or the SimDomain) owns hook cadence.
+  void dispatch_cycle(Cycle t);
+
+  /// Advance now() to `t` without dispatching (every pending event is
+  /// known to be later than `t`).  The sharded executor uses this to
+  /// keep an idle shard's clock in lockstep so that wakes delivered by
+  /// the cross-shard drain phase (at t+1) satisfy the monotonicity
+  /// invariants and stay inside the calendar ring's horizon window.
+  void fast_forward(Cycle t) {
+    assert(t >= now_);
+    assert(next_event_cycle() > t);
+    now_ = t;
+  }
+
+  bool stop_requested() const { return stop_requested_; }
+  void reset_stop() { stop_requested_ = false; }
+
+  /// Redirect the component-construction order counter (the canonical
+  /// dispatch key) to shared storage.  A SimDomain points every shard at
+  /// one counter *before any component is built*, making construction
+  /// order global across the partitioned model.
+  void adopt_order_counter(std::uint64_t* counter) {
+    order_counter_ = counter;
+  }
+  std::uint64_t next_component_order() { return (*order_counter_)++; }
+
   /// Optional trace sink; null disables tracing.
   void set_trace(std::ostream* os) { trace_ = os; }
   std::ostream* trace() const { return trace_; }
@@ -226,10 +302,13 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   bool use_calendar_ = true;
+  std::uint32_t ring_bits_chosen_ = 0;
   Cycle now_ = 0;
   bool dispatching_ = false;
   bool stop_requested_ = false;
   std::uint64_t seq_ = 0;
+  std::uint64_t order_counter_storage_ = 0;
+  std::uint64_t* order_counter_ = &order_counter_storage_;
   std::uint64_t active_cycles_ = 0;
   std::uint64_t wake_requests_ = 0;
   std::uint64_t wakes_deduped_ = 0;
@@ -237,6 +316,7 @@ class Scheduler {
   std::uint64_t overflow_pushes_ = 0;
   std::uint64_t commit_pushes_ = 0;
   std::uint64_t commits_deduped_ = 0;
+  std::array<std::uint64_t, 65> horizon_hist_{};
 
   // Telemetry hook: hook_next_ is kNeverCycle whenever hook_ is null, so
   // the disabled case is a single always-false compare in run().

@@ -1,5 +1,7 @@
 #include "sim/telemetry.h"
 
+#include "sim/domain.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -72,9 +74,39 @@ void Sampler::attach(sim::Scheduler& sched) {
   add_counter("sched.active_cycles", [s] { return s->active_cycles(); });
   add_gauge("sched.queued",
             [s] { return static_cast<std::uint64_t>(s->queued()); });
+  add_gauge("sched.ring_bits",
+            [s] { return static_cast<std::uint64_t>(s->ring_bits_chosen()); });
   // First boundary at one full window, then on_cycle self-paces.  A
   // sample_every of 0 means "manual snapshots only": never hook.
   if (every_ > 0) sched.set_cycle_hook(this, every_);
+}
+
+void Sampler::attach(sim::SimDomain& dom) {
+  if (!dom.sharded()) {
+    // Single-shard fallback: identical wiring (and identical series) to
+    // a plain scheduler.
+    attach(dom.shard(0));
+    return;
+  }
+  dom_ = &dom;
+  sim::SimDomain* d = &dom;
+  // The same kernel pressure series, summed across shards.  The
+  // wake/dedup/active sums are bit-identical to the single-thread
+  // kernels; the bucket/overflow/commit series are kernel-dependent
+  // (they already differ between calendar and heap).
+  add_counter("sched.wake_requests", [d] { return d->wake_requests(); });
+  add_counter("sched.wakes_deduped", [d] { return d->wakes_deduped(); });
+  add_counter("sched.bucket_pushes", [d] { return d->bucket_pushes(); });
+  add_counter("sched.overflow_pushes", [d] { return d->overflow_pushes(); });
+  add_counter("sched.commit_pushes", [d] { return d->commit_pushes(); });
+  add_counter("sched.commits_deduped", [d] { return d->commits_deduped(); });
+  add_counter("sched.active_cycles", [d] { return d->active_cycles(); });
+  add_gauge("sched.queued",
+            [d] { return static_cast<std::uint64_t>(d->queued()); });
+  add_gauge("sched.ring_bits", [d] {
+    return static_cast<std::uint64_t>(d->shard(0).ring_bits_chosen());
+  });
+  if (every_ > 0) dom.set_cycle_hook(this, every_);
 }
 
 sim::Cycle Sampler::on_cycle(sim::Cycle now) {
@@ -141,6 +173,10 @@ void Sampler::finish(sim::Cycle end) {
   if (sched_ != nullptr) {
     sched_->set_cycle_hook(nullptr);
     sched_ = nullptr;
+  }
+  if (dom_ != nullptr) {
+    dom_->set_cycle_hook(nullptr);
+    dom_ = nullptr;
   }
   // Name-sorted series give exporters (and diffs of exports) a stable
   // order regardless of registration/discovery order.

@@ -34,6 +34,10 @@
 /// cycle-domain series and the host spans into one Chrome/Perfetto
 /// trace-event JSON so a whole run opens in chrome://tracing.
 
+namespace medea::sim {
+class SimDomain;
+}  // namespace medea::sim
+
 namespace medea::telemetry {
 
 /// One sampled metric: name plus one value per snapshot window.
@@ -115,8 +119,15 @@ class Sampler final : public sim::CycleHook {
   /// Hook this sampler into the scheduler's run loop and register the
   /// kernel's own pressure series: sched.wake_requests/wakes_deduped/
   /// bucket_pushes/overflow_pushes/commit_pushes/commits_deduped
-  /// (cumulative) and sched.queued (gauge).
+  /// (cumulative) and sched.queued/ring_bits (gauges).
   void attach(sim::Scheduler& sched);
+
+  /// Same wiring over a sharded simulation domain: the pressure series
+  /// are summed across shards and the hook fires from the domain's
+  /// serial phase (after the per-shard stat merge), so sampled sharded
+  /// runs stay deterministic.  Falls through to the Scheduler overload
+  /// for single-shard domains.
+  void attach(sim::SimDomain& dom);
 
   /// CycleHook: snapshot and return the next sample boundary.
   sim::Cycle on_cycle(sim::Cycle now) override;
@@ -152,6 +163,7 @@ class Sampler final : public sim::CycleHook {
 
   sim::Cycle every_;
   sim::Scheduler* sched_ = nullptr;
+  sim::SimDomain* dom_ = nullptr;
   bool finished_ = false;
   std::vector<StatSource> stat_sources_;
   std::vector<Probe> probes_;

@@ -22,10 +22,15 @@ inline constexpr Cycle kNeverCycle = ~Cycle{0};
 /// overflow tier for far-future events (DDR-refresh-scale delays).  The
 /// pure binary heap remains selectable so differential tests can run the
 /// same seed through both kernels and assert bit-identical behaviour.
+/// kShardedCalendar partitions the model across per-thread calendar
+/// schedulers synchronized at cycle boundaries (sim::SimDomain); code
+/// paths that cannot shard (full-system apps, the XY baseline) fall back
+/// transparently to one calendar shard, so the selection is always safe.
 struct SchedulerConfig {
   enum class EventQueue : std::uint8_t {
-    kCalendar,    ///< two-tier calendar queue + overflow heap (default)
-    kBinaryHeap,  ///< legacy single binary heap (reference kernel)
+    kCalendar,         ///< two-tier calendar queue + overflow heap (default)
+    kBinaryHeap,       ///< legacy single binary heap (reference kernel)
+    kShardedCalendar,  ///< per-thread calendar shards, lockstep cycle barrier
   };
 
   EventQueue queue = EventQueue::kCalendar;
@@ -33,7 +38,22 @@ struct SchedulerConfig {
   /// log2 of the calendar ring size in cycles.  Wakes within
   /// 2^ring_bits cycles of `now` land in a bucket; anything further out
   /// goes to the overflow heap.  Clamped to [6, 20] by the Scheduler.
+  /// 0 = size automatically from horizon_hint (below).
   std::uint32_t ring_bits = 10;
+
+  /// Sizing hint for ring_bits == 0: the longest wake horizon (cycles
+  /// into the future) the model is expected to use routinely.  The
+  /// scheduler picks the smallest ring covering 2x the hint, so the
+  /// common wakes stay O(1) bucket pushes with slack for jitter; 0 means
+  /// "no idea", which sizes the ring at the former fixed default (2^10).
+  /// Runs export the observed wake-horizon histogram
+  /// (Scheduler::suggested_ring_bits) so the hint can be calibrated.
+  Cycle horizon_hint = 0;
+
+  /// kShardedCalendar only: number of parallel shards.  0 = auto from
+  /// std::thread::hardware_concurrency().  Clamped by the model's useful
+  /// parallelism (a W x H torus shards by rows, so at most H shards).
+  std::uint32_t num_shards = 0;
 
   bool operator==(const SchedulerConfig&) const = default;
 };

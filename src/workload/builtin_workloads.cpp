@@ -46,16 +46,25 @@ void add_memory_telemetry(ScopedTelemetry& telemetry, core::MedeaSystem& sys) {
 }
 
 /// Kernel pressure counters merged into every run's stats.  Only the
-/// kernel-*independent* ones belong here: the calendar/heap differential
-/// tests compare full counter maps across event-queue kernels, so
-/// bucket_pushes/overflow_pushes (which differ by design) stay out —
-/// they are still visible as timeline series via Sampler::attach().
+/// kernel-*independent* ones belong here: the differential tests compare
+/// full counter maps across event-queue kernels (heap, calendar, sharded
+/// at any shard count), so bucket_pushes/overflow_pushes (two-tier
+/// placement) and commit_pushes/commits_deduped (a split boundary link
+/// arms its TX and RX halves separately) stay out — all four remain
+/// visible as timeline series via Sampler::attach().
 void add_sched_stats(const sim::Scheduler& sched, sim::StatSet& stats) {
   stats.set("sched.wake_requests", sched.wake_requests());
   stats.set("sched.wakes_deduped", sched.wakes_deduped());
-  stats.set("sched.commit_pushes", sched.commit_pushes());
-  stats.set("sched.commits_deduped", sched.commits_deduped());
   stats.set("sched.active_cycles", sched.active_cycles());
+}
+
+/// Sharded-domain overload: shard sums for the wake counters (each wake
+/// request lands on exactly one shard, so the sums bit-match the
+/// single-thread kernels) and the global active-cycle count.
+void add_sched_stats(const sim::SimDomain& dom, sim::StatSet& stats) {
+  stats.set("sched.wake_requests", dom.wake_requests());
+  stats.set("sched.wakes_deduped", dom.wakes_deduped());
+  stats.set("sched.active_cycles", dom.active_cycles());
 }
 
 // ---------------------------------------------------------------------
@@ -204,40 +213,49 @@ class SyntheticWorkload final : public Workload {
 
     // Synthetic patterns drive either fabric (sp.network); stat keys and
     // the latency accumulator just carry the fabric's prefix.
-    sim::Scheduler sched(req.machine.scheduler);
     const noc::TorusGeometry geom(req.machine.noc_width,
                                   req.machine.noc_height);
     RunResult r;
     if (sp.network == "xy") {
+      // The XY baseline shares buffered queues across the whole fabric
+      // and never shards; a kShardedCalendar config transparently runs
+      // the calendar kernel single-threaded here.
+      sim::Scheduler sched(req.machine.scheduler);
       noc::XyNetwork net(sched, geom, sp.xy_router, sp.xy_torus_wrap);
       run_on(sched, net, tc, req, ctx, r, "xynoc.");
+      r.cycles = sched.now();
     } else if (sp.network == "deflection") {
-      noc::Network net(sched, geom, req.machine.router, req.seed);
-      run_on(sched, net, tc, req, ctx, r, "noc.");
+      // Row bands cap useful shards at the torus height; anything the
+      // config resolves beyond one shard runs the lockstep parallel
+      // kernel, bit-identical to the single-thread run.
+      sim::SimDomain dom(req.machine.scheduler, geom.height());
+      noc::Network net(dom, geom, req.machine.router, req.seed);
+      run_on(dom, net, tc, req, ctx, r, "noc.");
+      r.cycles = dom.now();
     } else {
       throw std::invalid_argument(
           "synthetic workload: unknown network '" + sp.network +
           "' (expected \"deflection\" or \"xy\")");
     }
-    r.cycles = sched.now();
     return r;
   }
 
  private:
-  /// One synthetic run on fabric Net: the classic fixed-budget drain, or
-  /// — when the request asks for it — a phased warmup/measure/drain run
+  /// One synthetic run on fabric Net driven by Exec (a Scheduler or a
+  /// SimDomain — the run helpers, telemetry attachment and sched-stat
+  /// export all overload on it): the classic fixed-budget drain, or —
+  /// when the request asks for it — a phased warmup/measure/drain run
   /// driven through the measurement controller (validation guarantees
   /// ctx.measure is set whenever measurement.phased is).
-  template <typename Net>
-  static void run_on(sim::Scheduler& sched, Net& net,
-                     const noc::TrafficConfig& tc, const RunRequest& req,
-                     RunContext& ctx, RunResult& r,
+  template <typename Exec, typename Net>
+  static void run_on(Exec& exec, Net& net, const noc::TrafficConfig& tc,
+                     const RunRequest& req, RunContext& ctx, RunResult& r,
                      const std::string& prefix) {
     if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
-    ScopedTelemetry telemetry(ctx, sched, net.stats());
+    ScopedTelemetry telemetry(ctx, exec, net.stats());
     if (req.measurement.phased) {
       const MeasurementResult m =
-          run_phased_traffic(sched, net, tc, req.measurement, *ctx.measure);
+          run_phased_traffic(exec, net, tc, req.measurement, *ctx.measure);
       r.metric = m.latency.mean;
       r.metric_name = "measured_avg_flit_latency";
       r.stats = net.stats();
@@ -245,7 +263,7 @@ class SyntheticWorkload final : public Workload {
       // A phased run is sound when every measured flit made it out.
       r.verified_ok = m.drained;
     } else {
-      const int received = noc::run_traffic(sched, net, tc);
+      const int received = noc::run_traffic(exec, net, tc);
       r.metric = net.stats().acc(prefix + "latency").mean();
       r.metric_name = "avg_flit_latency";
       r.stats = net.stats();
@@ -254,7 +272,7 @@ class SyntheticWorkload final : public Workload {
       r.verified_ok =
           static_cast<std::uint64_t>(received) == r.flits_delivered;
     }
-    add_sched_stats(sched, r.stats);
+    add_sched_stats(exec, r.stats);
   }
 
   noc::TrafficPattern pattern_;
@@ -333,7 +351,6 @@ class ReplayWorkload final : public Workload {
         load_cached(require_path(req), rp.trace_scale);
     const Trace& trace = *trace_ptr;
 
-    sim::Scheduler sched(req.machine.scheduler);
     // Seed the NoC from the trace header, not the replay params: with
     // random_tie_break routers the recorded deflection choices depend on
     // the recorded seed, and bit-identical replay depends on matching it.
@@ -344,24 +361,30 @@ class ReplayWorkload final : public Workload {
         trace.meta.net.kind == TraceNetKind::kBufferedXy) {
       // The header says which fabric recorded the trace; rebuild exactly
       // that one (the machine's deflection RouterConfig does not apply).
+      // The XY fabric never shards (see SyntheticWorkload).
+      sim::Scheduler sched(req.machine.scheduler);
       noc::XyNetwork net(sched, geom, trace.meta.net.xy_router_config(),
                          trace.meta.net.torus_wrap);
       if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
       ScopedTelemetry telemetry(ctx, sched, net.stats());
       res = run_replay(sched, net, trace, kReplayLimit, rp.force_config);
       r.stats = net.stats();
+      add_sched_stats(sched, r.stats);
     } else {
       // Deflection replay runs on the machine's RouterConfig; for v2
       // traces the replayer refuses a config that differs from the
-      // recording unless rp.force_config makes it explicit.
-      noc::Network net(sched, geom, req.machine.router, trace.meta.seed);
+      // recording unless rp.force_config makes it explicit.  Replays
+      // shard like synthetic traffic: per-node injectors/sinks live on
+      // their node's shard.
+      sim::SimDomain dom(req.machine.scheduler, geom.height());
+      noc::Network net(dom, geom, req.machine.router, trace.meta.seed);
       if (noc::FlitObserver* o = ctx.observer()) net.set_observer(o);
-      ScopedTelemetry telemetry(ctx, sched, net.stats());
-      res = run_replay(sched, net, trace, kReplayLimit, rp.force_config);
+      ScopedTelemetry telemetry(ctx, dom, net.stats());
+      res = run_replay(dom, net, trace, kReplayLimit, rp.force_config);
       r.stats = net.stats();
+      add_sched_stats(dom, r.stats);
     }
 
-    add_sched_stats(sched, r.stats);
     r.cycles = res.cycles;
     r.metric = static_cast<double>(res.last_delivery_cycle);
     r.metric_name = "last_delivery_cycle";

@@ -197,65 +197,4 @@ Trace record_workload(const std::string& name, const RunRequest& req,
   return t;
 }
 
-// ---------------------------------------------------------------------
-// Compatibility shim (deprecated; see workload.h)
-// ---------------------------------------------------------------------
-
-RunRequest to_run_request(const Workload& w, const WorkloadParams& p) {
-  RunRequest req;
-  req.machine = p.config;
-  req.seed = p.seed;
-  req.verify = p.verify;
-  // Engage only the section the target workload reads — the flat struct
-  // carried every knob at once and ignored the mismatched ones, so the
-  // shim reproduces that permissiveness instead of tripping validation.
-  switch (w.kind()) {
-    case WorkloadKind::kApp: {
-      AppParams a;
-      a.size = p.size;
-      a.iterations = p.iterations;
-      a.warmup_iterations = p.warmup_iterations;
-      req.app = a;
-      break;
-    }
-    case WorkloadKind::kSynthetic: {
-      SyntheticParams s;
-      s.injection_rate = p.injection_rate;
-      s.flits_per_node = p.flits_per_node;
-      s.hotspot_node = p.hotspot_node;
-      s.network = p.network;
-      s.xy_router = p.xy_router;
-      s.xy_torus_wrap = p.xy_torus_wrap;
-      req.synthetic = s;
-      break;
-    }
-    case WorkloadKind::kReplay: {
-      ReplayParams rp;
-      rp.trace_path = p.trace_path;
-      rp.trace_scale = p.trace_scale;
-      rp.force_config = p.force_replay_config;
-      req.replay = rp;
-      break;
-    }
-  }
-  return req;
-}
-
-RunResult run_by_name(const std::string& name, const WorkloadParams& p,
-                      noc::FlitObserver* observer) {
-  const Workload& w = WorkloadRegistry::instance().at(name);
-  return run_workload(w, to_run_request(w, p), observer);
-}
-
-RunResult run_configured(const WorkloadParams& p,
-                         noc::FlitObserver* observer) {
-  return run_by_name(p.config.workload, p, observer);
-}
-
-Trace record_workload(const std::string& name, const WorkloadParams& p,
-                      RunResult* result) {
-  const Workload& w = WorkloadRegistry::instance().at(name);
-  return record_workload(name, to_run_request(w, p), result);
-}
-
 }  // namespace medea::workload

@@ -11,6 +11,7 @@
 #include "noc/flit_tracer.h"
 #include "noc/traffic.h"
 #include "noc/xy_router.h"
+#include "sim/domain.h"
 #include "sim/stats.h"
 #include "sim/telemetry.h"
 #include "sim/types.h"
@@ -204,6 +205,14 @@ struct RunContext {
     sampler->add_stats("", stats);
     sampler->attach(sched);
   }
+
+  /// Sharded-domain overload: the sampler hooks into the domain's serial
+  /// phase and sums the sched.* series across shards.
+  void attach_telemetry(sim::SimDomain& dom, const sim::StatSet& stats) const {
+    if (sampler == nullptr) return;
+    sampler->add_stats("", stats);
+    sampler->attach(dom);
+  }
 };
 
 /// RAII telemetry attachment for workload implementations: attaches the
@@ -219,11 +228,19 @@ class ScopedTelemetry {
  public:
   ScopedTelemetry(const RunContext& ctx, sim::Scheduler& sched,
                   const sim::StatSet& stats)
-      : sampler_(ctx.sampler), sched_(sched) {
+      : sampler_(ctx.sampler), sched_(&sched) {
     ctx.attach_telemetry(sched, stats);
   }
+  /// Sharded-domain variant: finishes at the domain's global clock.
+  ScopedTelemetry(const RunContext& ctx, sim::SimDomain& dom,
+                  const sim::StatSet& stats)
+      : sampler_(ctx.sampler), dom_(&dom) {
+    ctx.attach_telemetry(dom, stats);
+  }
   ~ScopedTelemetry() {
-    if (sampler_ != nullptr) sampler_->finish(sched_.now());
+    if (sampler_ != nullptr) {
+      sampler_->finish(dom_ != nullptr ? dom_->now() : sched_->now());
+    }
   }
 
   /// Register a further StatSet under `prefix` (e.g. the MPMMU's and the
@@ -238,7 +255,8 @@ class ScopedTelemetry {
 
  private:
   telemetry::Sampler* sampler_;
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_ = nullptr;
+  sim::SimDomain* dom_ = nullptr;
 };
 
 /// One runnable scenario.  run() builds a fresh simulator every call
@@ -338,51 +356,6 @@ RunResult run_configured(const RunRequest& req,
 /// including its measurement, since the recorder chains behind the
 /// controller.
 Trace record_workload(const std::string& name, const RunRequest& req,
-                      RunResult* result = nullptr);
-
-// ---------------------------------------------------------------------
-// Compatibility shim — DEPRECATED, kept for exactly one PR
-// ---------------------------------------------------------------------
-
-/// DEPRECATED: the flat parameter grab-bag the RunRequest API replaced.
-/// Each field was only meaningful for one workload kind and misapplied
-/// knobs were silently ignored; to_run_request() maps it onto the
-/// section matching the target workload's kind (preserving the old
-/// permissive semantics).  Every in-repo caller has been migrated —
-/// this shim exists for downstream code and will be removed in the
-/// next PR.
-struct WorkloadParams {
-  core::MedeaConfig config{};
-  int size = -1;                ///< problem size (apps only)
-  int iterations = 1;           ///< timed iterations / reduce rounds
-  int warmup_iterations = 1;    ///< untimed warm-up (apps only)
-  double injection_rate = 0.1;  ///< flits/node/cycle (synthetic only)
-  int flits_per_node = 1000;    ///< per-node budget (synthetic only)
-  int hotspot_node = 0;         ///< target of the hotspot pattern
-  std::uint64_t seed = 1;
-  bool verify = false;
-  std::string trace_path;       ///< input trace (replay workload only)
-  std::string network = "deflection";
-  noc::XyRouterConfig xy_router{};
-  bool xy_torus_wrap = false;
-  double trace_scale = 1.0;
-  bool force_replay_config = false;
-};
-
-/// DEPRECATED alias: results are RunResults now.
-using WorkloadResult = RunResult;
-
-/// DEPRECATED: build the RunRequest equivalent of flat params for the
-/// given workload (the section engaged matches w.kind()).
-RunRequest to_run_request(const Workload& w, const WorkloadParams& p);
-
-/// DEPRECATED: flat-params entry points; each converts via
-/// to_run_request() and forwards to the RunRequest overload.
-RunResult run_by_name(const std::string& name, const WorkloadParams& p,
-                      noc::FlitObserver* observer = nullptr);
-RunResult run_configured(const WorkloadParams& p,
-                         noc::FlitObserver* observer = nullptr);
-Trace record_workload(const std::string& name, const WorkloadParams& p,
                       RunResult* result = nullptr);
 
 }  // namespace medea::workload

@@ -1,15 +1,18 @@
-/// Differential tests for the two event-queue kernels: every scenario
-/// must be bit-identical between the calendar-queue scheduler (the
-/// default) and the legacy binary heap it replaced.
+/// Differential tests for the event-queue kernels: every scenario must
+/// be bit-identical between the calendar-queue scheduler (the default),
+/// the legacy binary heap it replaced, and the sharded parallel kernel
+/// at any shard count.
 ///
 /// The kernel determinism contract says dispatch order within a cycle
-/// follows wake-request (FIFO seq) order; the calendar queue reproduces
-/// that order exactly (overflow-heap entries for a cycle always predate
-/// its bucket entries), so *everything* observable — cycle counts,
-/// per-flit delivery logs in raw dispatch order, aggregate hardware
-/// stats — must match the legacy kernel bit for bit.  These tests run
-/// identical seeds through both kernels across every registry workload
-/// and a randomized torture mesh, and fail on the first divergence.
+/// is the canonical component-construction order, independent of when
+/// or from where the wake was requested; all three kernels reproduce
+/// that order exactly (the sharded kernel additionally merges cross-
+/// shard observer events back into it), so *everything* observable —
+/// cycle counts, per-flit delivery logs in raw dispatch order,
+/// aggregate hardware stats, flit lifecycle traces — must match bit
+/// for bit.  These tests run identical seeds through all kernels across
+/// every registry workload and a randomized torture mesh, and fail on
+/// the first divergence.
 
 #include <gtest/gtest.h>
 
@@ -20,8 +23,11 @@
 #include <vector>
 
 #include "noc/flit.h"
+#include "noc/network.h"
+#include "sim/domain.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
+#include "workload/replay.h"
 #include "workload/trace.h"
 #include "workload/workload.h"
 
@@ -35,6 +41,13 @@ SchedulerConfig calendar_cfg() { return {}; }
 SchedulerConfig legacy_cfg() {
   SchedulerConfig cfg;
   cfg.queue = SchedulerConfig::EventQueue::kBinaryHeap;
+  return cfg;
+}
+
+SchedulerConfig sharded_cfg(int shards) {
+  SchedulerConfig cfg;
+  cfg.queue = SchedulerConfig::EventQueue::kShardedCalendar;
+  cfg.num_shards = shards;
   return cfg;
 }
 
@@ -94,29 +107,49 @@ void expect_stats_identical(const sim::StatSet& a, const sim::StatSet& b,
   }
 }
 
-/// Run `name` once per kernel with identical params and assert the runs
-/// are indistinguishable: cycle count, headline metric, flit totals,
-/// aggregate stats and the raw per-flit delivery log.
+/// One run of `name` under kernel `cfg`, with its raw delivery log.
+struct KernelRun {
+  workload::RunResult r;
+  DeliveryLog log;
+};
+
+KernelRun run_kernel(const std::string& name, workload::RunRequest req,
+                     const SchedulerConfig& cfg) {
+  KernelRun out;
+  req.machine.scheduler = cfg;
+  out.r = workload::run_by_name(name, req, &out.log);
+  return out;
+}
+
+void expect_runs_identical(const KernelRun& ref, const KernelRun& other,
+                           const std::string& what) {
+  EXPECT_EQ(ref.r.cycles, other.r.cycles) << what;
+  EXPECT_EQ(ref.r.metric, other.r.metric) << what;
+  EXPECT_EQ(ref.r.flits_delivered, other.r.flits_delivered) << what;
+  EXPECT_EQ(ref.r.verified_ok, other.r.verified_ok) << what;
+  EXPECT_EQ(ref.r.measurement, other.r.measurement)
+      << what << ": latency measurements diverged";
+  EXPECT_EQ(ref.log.v, other.log.v) << what << ": delivery logs diverged";
+  expect_stats_identical(ref.r.stats, other.r.stats, what);
+}
+
+/// Run `name` once per kernel — calendar (the reference), legacy heap,
+/// and the sharded parallel kernel at 2 and 3 shards — with identical
+/// params, and assert the runs are indistinguishable: cycle count,
+/// headline metric, flit totals, aggregate stats and the raw per-flit
+/// delivery log.  Models that cannot shard (apps, the XY fabric) take
+/// the transparent single-thread fallback under the sharded configs,
+/// which must also be bit-identical.
 void check_workload_identical(const std::string& name,
-                              workload::RunRequest base) {
-  base.machine.scheduler = calendar_cfg();
-  DeliveryLog cal_log;
-  const workload::RunResult cal =
-      workload::run_by_name(name, base, &cal_log);
-
-  base.machine.scheduler = legacy_cfg();
-  DeliveryLog heap_log;
-  const workload::RunResult heap =
-      workload::run_by_name(name, base, &heap_log);
-
-  EXPECT_EQ(cal.cycles, heap.cycles) << name;
-  EXPECT_EQ(cal.metric, heap.metric) << name;
-  EXPECT_EQ(cal.flits_delivered, heap.flits_delivered) << name;
-  EXPECT_EQ(cal.verified_ok, heap.verified_ok) << name;
-  EXPECT_EQ(cal.measurement, heap.measurement)
-      << name << ": latency measurements diverged";
-  EXPECT_EQ(cal_log.v, heap_log.v) << name << ": delivery logs diverged";
-  expect_stats_identical(cal.stats, heap.stats, name);
+                              const workload::RunRequest& base) {
+  const KernelRun ref = run_kernel(name, base, calendar_cfg());
+  expect_runs_identical(ref, run_kernel(name, base, legacy_cfg()),
+                        name + " [heap]");
+  for (int shards : {2, 3}) {
+    expect_runs_identical(
+        ref, run_kernel(name, base, sharded_cfg(shards)),
+        name + " [sharded x" + std::to_string(shards) + "]");
+  }
 }
 
 TEST(SchedulerDiff, EveryRegistryWorkloadIsBitIdentical) {
@@ -182,6 +215,19 @@ TEST(SchedulerDiff, FlitTracedRunIsBitIdenticalAcrossKernelsAndToUntraced) {
   EXPECT_EQ(cal.flit_trace, heap.flit_trace)
       << "flit traces diverged across kernels";
   expect_stats_identical(cal.stats, heap.stats, "traced uniform");
+
+  // Sharded run: lifecycle events (hop-level included) funnel through
+  // the per-shard buffers and must replay in canonical order, so the
+  // finalized per-flit hop chains are bit-identical too.
+  req.machine.scheduler = sharded_cfg(2);
+  DeliveryLog shard_log;
+  const workload::RunResult shard =
+      workload::run_by_name("uniform", req, &shard_log);
+  EXPECT_EQ(cal.cycles, shard.cycles);
+  EXPECT_EQ(cal_log.v, shard_log.v) << "sharded traced delivery log diverged";
+  EXPECT_EQ(cal.flit_trace, shard.flit_trace)
+      << "flit traces diverged single-thread vs sharded";
+  expect_stats_identical(cal.stats, shard.stats, "traced uniform sharded");
 
   // Tracing off, same kernel: nothing observable may change.
   workload::RunRequest untraced = req;
@@ -291,6 +337,196 @@ TEST(SchedulerDiff, TinyRingMatchesLegacyAcrossWraps) {
   };
 
   EXPECT_EQ(run_kernel(tiny), run_kernel(legacy_cfg()));
+}
+
+// ---------------------------------------------------------------------
+// Sharded-kernel edge cases: cycle-boundary injection straight across
+// the shard seam, uneven row bands, over-provisioned shard counts, and
+// the wake torture on the parallel kernel itself.
+// ---------------------------------------------------------------------
+
+/// A hand-crafted trace that injects at *every* consecutive cycle from
+/// the rows on both sides of every 2-shard seam of a 4x4 torus (rows
+/// 1<->2, plus the wrap seam 3<->0), so each global cycle both commits
+/// flits into boundary mailboxes and drains them.
+workload::Trace boundary_trace() {
+  workload::Trace t;
+  t.meta.width = 4;
+  t.meta.height = 4;
+  t.meta.coord_bits = workload::coord_bits_for(4, 4);
+  t.meta.seed = 1;
+  t.meta.version = 1;  // v1: geometry check only, no fabric config
+  const noc::TorusGeometry geom(4, 4);
+  std::uint32_t uid = 1;
+  const auto add = [&](sim::Cycle c, int src, int dst) {
+    workload::TraceEvent e;
+    e.cycle = c;
+    e.src = static_cast<std::uint16_t>(src);
+    e.dst = static_cast<std::uint16_t>(dst);
+    noc::Flit f;
+    f.valid = true;
+    f.dst = geom.coord_of(dst);
+    f.src_id = static_cast<std::uint8_t>(src);
+    e.uid = uid++;
+    e.payload = noc::encode_flit(f, t.meta.coord_bits);
+    t.events.push_back(e);
+  };
+  for (sim::Cycle c = 2; c <= 12; ++c) {
+    const int x = static_cast<int>(c) % 4;
+    add(c, geom.node_id({static_cast<std::uint8_t>(x), 1}),
+        geom.node_id({static_cast<std::uint8_t>(x), 2}));  // seam down
+    add(c, geom.node_id({static_cast<std::uint8_t>(x), 2}),
+        geom.node_id({static_cast<std::uint8_t>(x), 1}));  // seam up
+    add(c, geom.node_id({static_cast<std::uint8_t>(x), 3}),
+        geom.node_id({static_cast<std::uint8_t>(x), 0}));  // wrap seam
+  }
+  t.meta.total_cycles = 64;
+  return t;
+}
+
+TEST(ShardedDiff, BoundaryCycleInjectionMatchesSingleThread) {
+  const workload::Trace trace = boundary_trace();
+  const noc::TorusGeometry geom(4, 4);
+
+  struct Outcome {
+    workload::ReplayResult res;
+    std::vector<std::tuple<sim::Cycle, int, std::uint32_t>> log;
+    sim::StatSet stats;
+  };
+  const auto run_single = [&] {
+    sim::Scheduler sched(calendar_cfg());
+    noc::Network net(sched, geom, {}, 1);
+    DeliveryLog log;
+    net.set_observer(&log);
+    Outcome o;
+    o.res = workload::run_replay(sched, net, trace);
+    o.log = std::move(log.v);
+    o.stats = net.stats();
+    return o;
+  };
+  const auto run_sharded = [&](int shards) {
+    sim::SimDomain dom(sharded_cfg(shards), geom.height());
+    noc::Network net(dom, geom, {}, 1);
+    EXPECT_GT(net.num_shard_channels(), 0u);
+    DeliveryLog log;
+    net.set_observer(&log);
+    Outcome o;
+    o.res = workload::run_replay(dom, net, trace);
+    // Every flit in this trace crosses a seam; with 2 shards the two
+    // row-1<->2 streams (and half of each deflection detour) must have
+    // moved through mailboxes.
+    EXPECT_GT(net.mailbox_flits(), 0u);
+    o.log = std::move(log.v);
+    o.stats = net.stats();
+    return o;
+  };
+
+  const Outcome single = run_single();
+  ASSERT_EQ(single.res.flits_delivered, trace.events.size());
+  for (int shards : {2, 4}) {
+    const Outcome sharded = run_sharded(shards);
+    const std::string what =
+        "boundary replay x" + std::to_string(shards);
+    EXPECT_EQ(single.res.cycles, sharded.res.cycles) << what;
+    EXPECT_EQ(single.res.flits_injected, sharded.res.flits_injected) << what;
+    EXPECT_EQ(single.res.flits_delivered, sharded.res.flits_delivered)
+        << what;
+    EXPECT_EQ(single.res.last_delivery_cycle,
+              sharded.res.last_delivery_cycle)
+        << what;
+    EXPECT_EQ(single.log, sharded.log) << what << ": delivery log diverged";
+    expect_stats_identical(single.stats, sharded.stats, what);
+  }
+}
+
+TEST(ShardedDiff, UnevenShardWidthsAreBitIdentical) {
+  // A 4x5 torus under 3 shards splits into row bands of 2/2/1 — the
+  // widest and narrowest band differ by a factor of two, and the wrap
+  // seam joins the widest band to the narrowest.
+  workload::RunRequest req = tiny_req(calendar_cfg(), "uniform");
+  req.machine.noc_width = 4;
+  req.machine.noc_height = 5;
+  req.synthetic->injection_rate = 0.6;
+  req.synthetic->flits_per_node = 80;
+  check_workload_identical("uniform", req);
+}
+
+TEST(ShardedDiff, MoreShardsThanRowsClampAndMatch) {
+  // num_shards far beyond the row count: the domain clamps to the
+  // model's useful maximum (one band per row) and the run is still
+  // bit-identical — never one thread per nonexistent router.
+  EXPECT_EQ(sim::SimDomain::resolve_shards(sharded_cfg(64), 4), 4);
+  EXPECT_EQ(sim::SimDomain::resolve_shards(sharded_cfg(64), 0), 64);
+  EXPECT_EQ(sim::SimDomain::resolve_shards(calendar_cfg(), 4), 1);
+
+  const workload::RunRequest req = tiny_req(calendar_cfg(), "hotspot");
+  const KernelRun ref = run_kernel("hotspot", req, calendar_cfg());
+  expect_runs_identical(ref, run_kernel("hotspot", req, sharded_cfg(64)),
+                        "hotspot [sharded x64 on 4 rows]");
+}
+
+TEST(ShardedDiff, ShardedRandomizedWakeTortureIsBitIdentical) {
+  // The chaos mesh on the parallel kernel itself: components spread
+  // round-robin across shards, each recording its own trail (so every
+  // trail is written by exactly one shard thread and the comparison is
+  // independent of cross-shard interleaving).  Global cycle sequence,
+  // per-component tick trails and the kernel-independent counters must
+  // match the single-thread calendar run exactly.
+  constexpr int kComps = 8;
+  struct Result {
+    std::vector<std::vector<std::pair<int, sim::Cycle>>> trails;
+    sim::Cycle now = 0;
+    std::uint64_t active = 0, wakes = 0, deduped = 0;
+  };
+  const auto run_single = [&] {
+    Result res;
+    res.trails.resize(kComps);
+    sim::Scheduler sched(calendar_cfg());
+    std::vector<std::unique_ptr<ChaosComponent>> comps;
+    for (int i = 0; i < kComps; ++i) {
+      comps.push_back(std::make_unique<ChaosComponent>(
+          sched, i, 5000 + static_cast<std::uint64_t>(i), 300,
+          &res.trails[static_cast<std::size_t>(i)]));
+      sched.wake_at(*comps.back(), static_cast<sim::Cycle>(1 + i % 3));
+    }
+    EXPECT_TRUE(sched.run());
+    res.now = sched.now();
+    res.active = sched.active_cycles();
+    res.wakes = sched.wake_requests();
+    res.deduped = sched.wakes_deduped();
+    return res;
+  };
+  const auto run_sharded = [&](int shards) {
+    Result res;
+    res.trails.resize(kComps);
+    sim::SimDomain dom(sharded_cfg(shards), kComps);
+    EXPECT_EQ(dom.num_shards(), shards);
+    std::vector<std::unique_ptr<ChaosComponent>> comps;
+    for (int i = 0; i < kComps; ++i) {
+      sim::Scheduler& shard = dom.shard(i % dom.num_shards());
+      comps.push_back(std::make_unique<ChaosComponent>(
+          shard, i, 5000 + static_cast<std::uint64_t>(i), 300,
+          &res.trails[static_cast<std::size_t>(i)]));
+      shard.wake_at(*comps.back(), static_cast<sim::Cycle>(1 + i % 3));
+    }
+    EXPECT_TRUE(dom.run());
+    res.now = dom.now();
+    res.active = dom.active_cycles();
+    res.wakes = dom.wake_requests();
+    res.deduped = dom.wakes_deduped();
+    return res;
+  };
+
+  const Result single = run_single();
+  for (int shards : {2, 3}) {
+    const Result sharded = run_sharded(shards);
+    const std::string what = "chaos x" + std::to_string(shards);
+    EXPECT_EQ(single.trails, sharded.trails) << what << ": trails diverged";
+    EXPECT_EQ(single.now, sharded.now) << what;
+    EXPECT_EQ(single.active, sharded.active) << what;
+    EXPECT_EQ(single.wakes, sharded.wakes) << what;
+    EXPECT_EQ(single.deduped, sharded.deduped) << what;
+  }
 }
 
 }  // namespace

@@ -250,17 +250,35 @@ TEST(CalendarQueue, TinyRingStillCorrect) {
 
 TEST(CalendarQueue, RingBitsAreClampedToSaneRange) {
   SchedulerConfig cfg;
-  cfg.ring_bits = 0;
+  cfg.ring_bits = 1;
   EXPECT_EQ(Scheduler(cfg).config().ring_bits, 6u);
   cfg.ring_bits = 64;
   EXPECT_EQ(Scheduler(cfg).config().ring_bits, 20u);
 }
 
-TEST(CalendarQueue, OverflowEntriesDispatchBeforeBucketEntries) {
+TEST(CalendarQueue, RingBitsZeroAutoSizesFromHorizonHint) {
+  SchedulerConfig cfg;
+  cfg.ring_bits = 0;
+  // No hint: the former fixed default.
+  EXPECT_EQ(Scheduler(cfg).config().ring_bits, 10u);
+  // A hint sizes the smallest ring covering twice the horizon.
+  cfg.horizon_hint = 5000;  // bit_width 13 -> 14 bits (16384 >= 2*5000)
+  EXPECT_EQ(Scheduler(cfg).config().ring_bits, 14u);
+  cfg.horizon_hint = 3;  // tiny hints still clamp up to the floor
+  EXPECT_EQ(Scheduler(cfg).config().ring_bits, 6u);
+  cfg.horizon_hint = ~std::uint64_t{0};  // huge hints clamp to the cap
+  EXPECT_EQ(Scheduler(cfg).config().ring_bits, 20u);
+}
+
+TEST(CalendarQueue, SameCycleDispatchFollowsConstructionOrder) {
   // B's wake for cycle 2000 is requested first (far future -> overflow);
   // A's wake for the same cycle arrives later via a bucket once `now` is
-  // close enough.  FIFO seq order says B must tick before A — the
-  // overflow-before-bucket drain order is what preserves it.
+  // close enough.  Same-cycle dispatch is canonical component
+  // construction order in every kernel — independent of which tier the
+  // wake landed in or when it was requested — so A (constructed first)
+  // ticks before B in the heap and the calendar alike.  This shared
+  // order is what lets the sharded kernel reproduce single-thread runs
+  // bit-identically.
   struct Proxy final : Component {
     Proxy(Scheduler& s, std::string n, std::vector<std::string>* order)
         : Component(s, std::move(n)), order_(order) {}
@@ -283,7 +301,7 @@ TEST(CalendarQueue, OverflowEntriesDispatchBeforeBucketEntries) {
     sched.wake_at(b, 2000);   // overflow tier (2000 > ring)
     sched.wake_at(late, 1500);  // wakes `a` for 2000 from close range
     EXPECT_TRUE(sched.run());
-    EXPECT_EQ(order, (std::vector<std::string>{"b", "a"})) << "legacy="
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b"})) << "legacy="
                                                            << legacy;
   }
 }

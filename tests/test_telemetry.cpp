@@ -174,9 +174,8 @@ TEST(TelemetryRun, DisabledSamplingPerturbsNothing) {
   EXPECT_TRUE(off.timeline.empty());
   EXPECT_EQ(off.cycles, on.cycles);
   EXPECT_EQ(off.flits_delivered, on.flits_delivered);
-  for (const char* key :
-       {"sched.wake_requests", "sched.wakes_deduped", "sched.commit_pushes",
-        "sched.commits_deduped", "sched.active_cycles"}) {
+  for (const char* key : {"sched.wake_requests", "sched.wakes_deduped",
+                          "sched.active_cycles"}) {
     EXPECT_EQ(off.stats.get(key), on.stats.get(key)) << key;
   }
   EXPECT_GT(off.stats.get("sched.wake_requests"), 0u);
@@ -195,21 +194,28 @@ TEST(TelemetryRun, TimelineDeltasSumToFinalCounters) {
   for (std::uint64_t d : delivered->values) total += d;
   EXPECT_EQ(total, r.flits_delivered);
 
-  const Series* commits = r.timeline.find("sched.commit_pushes");
-  ASSERT_NE(commits, nullptr);
-  EXPECT_EQ(r.timeline.reconstruct(*commits).back(),
-            r.stats.get("sched.commit_pushes"));
+  const Series* wakes = r.timeline.find("sched.wake_requests");
+  ASSERT_NE(wakes, nullptr);
+  EXPECT_EQ(r.timeline.reconstruct(*wakes).back(),
+            r.stats.get("sched.wake_requests"));
 }
 
 TEST(TelemetryRun, CommitDedupAbsorbsSameCycleRearms) {
   // Satellite: the Fifo epoch-stamp dedup. Multi-flit pushes into the
   // same queue in one cycle used to enter the commit list repeatedly;
-  // now duplicates are counted instead of queued.
-  workload::RunRequest req = small_uniform(0);
+  // now duplicates are counted instead of queued.  The commit counters
+  // are kernel-dependent (a sharded run's split boundary links arm
+  // their TX and RX halves separately), so they live on the timeline,
+  // not in the cross-kernel-comparable run stats.
+  workload::RunRequest req = small_uniform(64);
   req.synthetic->injection_rate = 0.6;  // busy queues => same-cycle re-arms
   const workload::RunResult r = workload::run_by_name("uniform", req);
-  EXPECT_GT(r.stats.get("sched.commit_pushes"), 0u);
-  EXPECT_GT(r.stats.get("sched.commits_deduped"), 0u);
+  const Series* pushes = r.timeline.find("sched.commit_pushes");
+  const Series* dedup = r.timeline.find("sched.commits_deduped");
+  ASSERT_NE(pushes, nullptr);
+  ASSERT_NE(dedup, nullptr);
+  EXPECT_GT(r.timeline.reconstruct(*pushes).back(), 0u);
+  EXPECT_GT(r.timeline.reconstruct(*dedup).back(), 0u);
 }
 
 TEST(TelemetryRun, PerRouterDeliveredCountersExist) {

@@ -282,44 +282,6 @@ TEST(RunApi, CollectOffLeavesMeasurementEmpty) {
 }
 
 // ---------------------------------------------------------------------
-// Deprecated flat-params shim
-// ---------------------------------------------------------------------
-
-TEST(RunApi, ShimMapsOntoTheMatchingSection) {
-  WorkloadParams p;
-  p.config.num_compute_cores = 2;
-  p.size = 8;
-  p.injection_rate = 0.3;
-  p.flits_per_node = 50;
-
-  const auto& reg = WorkloadRegistry::instance();
-  const RunRequest app = to_run_request(reg.at("jacobi"), p);
-  ASSERT_TRUE(app.app.has_value());
-  EXPECT_FALSE(app.synthetic.has_value());
-  EXPECT_FALSE(app.replay.has_value());
-  EXPECT_EQ(app.app->size, 8);
-
-  const RunRequest synth = to_run_request(reg.at("uniform"), p);
-  ASSERT_TRUE(synth.synthetic.has_value());
-  EXPECT_FALSE(synth.app.has_value());
-  EXPECT_EQ(synth.synthetic->injection_rate, 0.3);
-  EXPECT_EQ(synth.synthetic->flits_per_node, 50);
-}
-
-TEST(RunApi, ShimRunsMatchNativeRequests) {
-  WorkloadParams p;
-  p.config.num_compute_cores = 2;
-  p.injection_rate = 0.3;
-  p.flits_per_node = 50;
-  const RunResult via_shim = run_by_name("uniform", p);
-  const RunResult native = run_by_name("uniform", tiny_synth());
-  EXPECT_EQ(via_shim.cycles, native.cycles);
-  EXPECT_EQ(via_shim.flits_delivered, native.flits_delivered);
-  EXPECT_EQ(via_shim.metric, native.metric);
-  EXPECT_EQ(via_shim.measurement, native.measurement);
-}
-
-// ---------------------------------------------------------------------
 // Record / replay determinism
 // ---------------------------------------------------------------------
 
