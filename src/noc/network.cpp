@@ -31,25 +31,34 @@ class Network::ShardEventBuffer final : public FlitObserver {
   explicit ShardEventBuffer(Network& net) : net_(net) {}
 
   void on_inject(sim::Cycle now, int node, const Flit& f) override {
+    own_.assert_held();  // owning shard's dispatch phase
     events_.push_back({Kind::kInject, now, node, 0, false, f});
   }
   void on_deliver(sim::Cycle now, int node, const Flit& f) override {
+    own_.assert_held();  // owning shard's dispatch phase
     events_.push_back({Kind::kDeliver, now, node, 0, false, f});
   }
   void on_queue_enter(sim::Cycle now, int node, const Flit& f) override {
+    own_.assert_held();  // owning shard's dispatch phase
     events_.push_back({Kind::kQueueEnter, now, node, 0, false, f});
   }
   void on_hop(sim::Cycle now, int node, int out_port, bool deflected,
               const Flit& f) override {
+    own_.assert_held();  // owning shard's dispatch phase
     events_.push_back({Kind::kHop, now, node, out_port, deflected, f});
   }
   bool wants_lifecycle() const override {
     // Forwarded so routers gate hop events exactly as they would with
-    // the target attached directly (checked at set_observer time).
+    // the target attached directly (checked at set_observer time —
+    // serial context, hence the shared claim on the network token).
+    net_.serial_.assert_shared();
     return net_.obs_target_ != nullptr && net_.obs_target_->wants_lifecycle();
   }
 
   void flush_to(FlitObserver* obs) {
+    // Serial phase on shard 0: the writers (this buffer's shard) are
+    // parked at a barrier, so ownership has transferred here.
+    own_.assert_held();
     if (obs != nullptr) {
       for (const Event& e : events_) {
         switch (e.kind) {
@@ -79,11 +88,19 @@ class Network::ShardEventBuffer final : public FlitObserver {
   };
 
   Network& net_;
-  std::vector<Event> events_;
+  /// Alternating ownership: the buffer's shard during dispatch, shard 0
+  /// during the serial flush — the phase barrier in between is the
+  /// handoff.
+  core::Capability own_;
+  std::vector<Event> events_ MEDEA_GUARDED_BY(own_);
 };
 
 void Network::ShardChannel::relay(void* ctx, std::vector<Flit>& staged) {
   auto* ch = static_cast<ShardChannel*>(ctx);
+  // Producer side of the mailbox handoff: the TX FIFO's commit, on the
+  // producer shard, before the post-dispatch barrier.  The consumer
+  // shard will not touch `mail` until after that barrier.
+  ch->xfer.assert_held();
   for (Flit& f : staged) ch->mail.push_back(std::move(f));
 }
 
@@ -109,6 +126,7 @@ Network::Network(sim::SimDomain& dom, const TorusGeometry& geom,
 Network::~Network() = default;
 
 void Network::build_single(sim::Scheduler& sched, std::uint64_t seed) {
+  serial_.assert_held();  // construction time: single-threaded
   const int n = geom_.num_nodes();
   node_seq_.assign(static_cast<std::size_t>(n), 0);
   node_sched_.assign(static_cast<std::size_t>(n), &sched);
@@ -229,6 +247,10 @@ void Network::build_sharded(std::uint64_t seed) {
 
 void Network::drain_shard(int s, sim::Cycle now) {
   for (ShardChannel* ch : shard_channels_[static_cast<std::size_t>(s)]) {
+    // Consumer side of the mailbox handoff: shard s's drain phase, after
+    // the post-dispatch barrier — the producer's relay writes for this
+    // cycle all happen-before this point.
+    ch->xfer.assert_held();
     if (ch->mail.empty()) continue;
     shard_mail_count_[static_cast<std::size_t>(s)] += ch->mail.size();
     for (Flit& f : ch->mail) ch->rx->push_committed(std::move(f));
@@ -242,10 +264,14 @@ void Network::drain_shard(int s, sim::Cycle now) {
 }
 
 void Network::flush_observer_events() {
+  serial_.assert_shared();  // domain serial phase (cycle-end hook)
   for (auto& buf : shard_obs_) buf->flush_to(obs_target_);
 }
 
 void Network::refresh_stats() {
+  // Domain serial phase (pre-sample hook) or external post-run call —
+  // either way no shard is writing its StatSet.
+  serial_.assert_held();
   if (shard_stats_.empty()) return;
   stats_.clear();
   for (const auto& ss : shard_stats_) stats_.merge(*ss);
@@ -258,6 +284,7 @@ std::uint64_t Network::mailbox_flits() const {
 }
 
 void Network::set_observer(FlitObserver* obs) {
+  serial_.assert_held();  // wiring time: no run in flight
   obs_target_ = obs;
   if (dom_ == nullptr || shard_obs_.empty()) {
     for (auto& r : routers_) r->set_observer(obs);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "noc/coord.h"
 #include "noc/flit.h"
 #include "noc/router.h"
@@ -97,8 +98,14 @@ class Network {
   /// Shard-merged aggregate statistics.  Live in single-shard mode; in
   /// sharded mode a snapshot — refresh_stats() rebuilds it (run helpers
   /// call it after the run, the telemetry pre-sample hook during it).
-  sim::StatSet& stats() { return stats_; }
-  const sim::StatSet& stats() const { return stats_; }
+  sim::StatSet& stats() {
+    serial_.assert_held();  // external or domain-serial context only
+    return stats_;
+  }
+  const sim::StatSet& stats() const {
+    serial_.assert_shared();  // external or domain-serial context only
+    return stats_;
+  }
 
   /// Rebuild stats() from the per-shard sets (no-op in single mode).
   void refresh_stats();
@@ -143,9 +150,16 @@ class Network {
   /// One shard-boundary link: the producer-side FIFO relays committed
   /// flits into `mail`; the consumer shard's drain phase moves them
   /// into `rx` and wakes its consumer at t+1.
+  ///
+  /// `mail` is the SPSC mailbox of the sharded kernel: the producer
+  /// shard appends during its parallel phase (via relay, from the TX
+  /// FIFO's commit), the consumer shard drains after the post-dispatch
+  /// barrier.  Writer and reader are always separated by that barrier —
+  /// the `xfer` token records the handoff for clang's analysis.
   struct ShardChannel {
+    core::Capability xfer;  ///< barrier-handed-off mailbox ownership
     sim::Fifo<Flit>* rx = nullptr;
-    std::vector<Flit> mail;
+    std::vector<Flit> mail MEDEA_GUARDED_BY(xfer);
     static void relay(void* ctx, std::vector<Flit>& staged);
   };
 
@@ -159,9 +173,15 @@ class Network {
   void drain_shard(int s, sim::Cycle now);
   void flush_observer_events();
 
+  /// External single-thread / domain-serial-phase context: the merged
+  /// stats snapshot and the observer target are only touched while no
+  /// shard is dispatching (wiring time, the serial phase, or after the
+  /// run) — never from the parallel phase.
+  core::Capability serial_;
+
   TorusGeometry geom_;
   RouterConfig cfg_;
-  sim::StatSet stats_;
+  sim::StatSet stats_ MEDEA_GUARDED_BY(serial_);
   std::vector<std::unique_ptr<DeflectionRouter>> routers_;
   std::vector<std::unique_ptr<sim::Fifo<Flit>>> links_;
   std::uint32_t next_uid_ = 1;
@@ -174,9 +194,12 @@ class Network {
   std::vector<std::unique_ptr<sim::StatSet>> shard_stats_;
   std::vector<std::unique_ptr<ShardChannel>> channels_;
   std::vector<std::vector<ShardChannel*>> shard_channels_;  ///< per shard
-  std::vector<std::uint64_t> shard_mail_count_;             ///< per shard
+  /// Per-shard mailbox-flit tallies: slot s is written only by shard
+  /// s's drain phase and read after the run — per-slot ownership below
+  /// the analysis's granularity, so documented rather than annotated.
+  std::vector<std::uint64_t> shard_mail_count_;
   std::vector<std::unique_ptr<ShardEventBuffer>> shard_obs_;
-  FlitObserver* obs_target_ = nullptr;
+  FlitObserver* obs_target_ MEDEA_GUARDED_BY(serial_) = nullptr;
 };
 
 }  // namespace medea::noc

@@ -53,6 +53,10 @@ bool SimDomain::idle() const {
 }
 
 void SimDomain::set_cycle_hook(CycleHook* hook, Cycle first) {
+  // Registration-time API: no worker thread is running, so the caller
+  // exclusively owns both the tables and the serial-phase state.
+  setup_.assert_held();
+  serial_.assert_held();
   if (!sharded()) {
     shards_[0]->set_cycle_hook(hook, first);
     return;
@@ -62,14 +66,17 @@ void SimDomain::set_cycle_hook(CycleHook* hook, Cycle first) {
 }
 
 void SimDomain::add_shard_drain(int s, std::function<void(Cycle)> fn) {
+  setup_.assert_held();  // registration time, before run()
   drains_[static_cast<std::size_t>(s)].push_back(std::move(fn));
 }
 
 void SimDomain::add_cycle_end(std::function<void(Cycle)> fn) {
+  setup_.assert_held();  // registration time, before run()
   cycle_end_.push_back(std::move(fn));
 }
 
 void SimDomain::add_pre_sample(std::function<void()> fn) {
+  setup_.assert_held();  // registration time, before run()
   pre_sample_.push_back(std::move(fn));
 }
 
@@ -126,6 +133,8 @@ void SimDomain::run_or_throw(Cycle limit) {
 }
 
 bool SimDomain::run_sharded(Cycle limit) {
+  // No worker is running yet: the caller owns the serial state.
+  serial_.assert_held();
   stop_flag_ = false;
   for (auto& s : shards_) s->reset_stop();
   const int n = num_shards();
@@ -141,22 +150,36 @@ bool SimDomain::run_sharded(Cycle limit) {
 
 bool SimDomain::shard_loop(int s, Cycle limit) {
   Scheduler& sch = shard(s);
+  // The registration tables were frozen before the workers spawned;
+  // every shard reads them (shared) for the whole run.
+  setup_.assert_shared();
   auto& my_drains = drains_[static_cast<std::size_t>(s)];
   std::uint64_t wait_ns = 0;
   bool went_idle = true;
 
   for (;;) {
     // --- publish phase: post this shard's next-event time ------------
+    // Each shard exclusively owns its own padded slot here; the token's
+    // granularity is the whole slot vector, acquired around the
+    // single-slot write.
+    publish_.acquire();
     local_next_[static_cast<std::size_t>(s)].value = sch.next_event_cycle();
+    publish_.release();
     barrier_wait(&wait_ns);
 
     // Every shard computes the same min over the published times (the
     // decision is replicated, not communicated, so no extra barrier).
+    // The slots are stable until the next publish window, so this
+    // shard's dispatch-or-fast-forward decision is read here too.
+    publish_.acquire_shared();
     Cycle t = kNeverCycle;
     for (const PaddedCycle& c : local_next_) t = std::min(t, c.value);
+    const bool due = local_next_[static_cast<std::size_t>(s)].value == t;
+    publish_.release_shared();
 
     // --- serial phase (shard 0 only) ----------------------------------
     if (s == 0) {
+      serial_.acquire();
       // End-of-cycle work owed for the previous global cycle: flush the
       // cross-shard observer buffers in shard order — which, with
       // contiguous node bands, is exactly the canonical global event
@@ -177,18 +200,23 @@ bool SimDomain::shard_loop(int s, Cycle limit) {
         }
         if (!cycle_end_.empty()) pending_flush_ = t;
       }
+      serial_.release();
     }
     barrier_wait(&wait_ns);
 
-    // All shards take the same exit, on the same iteration.
-    if (t == kNeverCycle || stop_flag_) break;  // idle (or stopped): true
+    // All shards take the same exit, on the same iteration.  The serial
+    // state is read-stable until shard 0's next serial window.
+    serial_.acquire_shared();
+    const bool stopped = stop_flag_;
+    serial_.release_shared();
+    if (t == kNeverCycle || stopped) break;  // idle (or stopped): true
     if (t > limit) {
       went_idle = false;
       break;
     }
 
     // --- parallel phase: dispatch or fast-forward, then drain ---------
-    if (local_next_[static_cast<std::size_t>(s)].value == t) {
+    if (due) {
       sch.dispatch_cycle(t);
     } else {
       sch.fast_forward(t);

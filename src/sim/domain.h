@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/scheduler.h"
 #include "sim/types.h"
 
@@ -39,6 +40,23 @@
 /// mailboxes and per-shard state need no atomics of their own — writers
 /// and readers of any location are always separated by a barrier, which
 /// is also what makes the kernel ThreadSanitizer-clean.
+///
+/// That barrier-ownership discipline is machine-checked at compile time
+/// (clang -Wthread-safety, the MEDEA_THREAD_SAFETY build option) with
+/// three capability tokens (see core/thread_annotations.h):
+///
+///   setup_    the registration tables (drains_, cycle_end_,
+///             pre_sample_, hook_) — written only before run() spawns
+///             workers, read shared by every shard during the run
+///   publish_  the padded next-event slots — each shard exclusively
+///             writes its own slot in the publish window, every shard
+///             reads all slots after the publish barrier
+///   serial_   the lockstep clock and end-of-cycle state (now_,
+///             active_cycles_, hook_next_, pending_flush_, stop_flag_)
+///             — exclusively owned by shard 0 between the publish and
+///             serial barriers, read shared by all after the serial
+///             barrier, and owned by the external caller whenever no
+///             worker thread is running
 ///
 /// Determinism: the global cycle sequence is a pure min-reduction of
 /// per-shard next-event times; within a cycle each shard ticks in the
@@ -83,11 +101,17 @@ class SimDomain {
   }
 
   /// Last dispatched global cycle (the lockstep clock).
-  Cycle now() const { return sharded() ? now_ : shards_[0]->now(); }
+  Cycle now() const {
+    // Invariant: external reads happen only while no worker is running
+    // (run() joins before returning), or from the serial phase.
+    serial_.assert_shared();
+    return sharded() ? now_ : shards_[0]->now();
+  }
 
   /// Global cycles in which at least one shard ticked — the exact
   /// analogue of Scheduler::active_cycles() and bit-identical to it.
   std::uint64_t active_cycles() const {
+    serial_.assert_shared();  // same invariant as now()
     return sharded() ? active_cycles_ : shards_[0]->active_cycles();
   }
 
@@ -149,18 +173,26 @@ class SimDomain {
   bool shard_loop(int s, Cycle limit);
   void barrier_wait(std::uint64_t* wait_ns);
 
+  // Ownership tokens for clang's thread-safety analysis (see the file
+  // comment for the phase protocol each one encodes).  Zero-size, every
+  // operation on them compiles to nothing.
+  core::Capability setup_;    ///< registration tables, frozen at run()
+  core::Capability publish_;  ///< padded next-event slots
+  core::Capability serial_;   ///< lockstep clock + end-of-cycle state
+
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Scheduler>> shards_;
   std::uint64_t order_counter_ = 0;
 
-  Cycle now_ = 0;
-  std::uint64_t active_cycles_ = 0;
-  CycleHook* hook_ = nullptr;
-  Cycle hook_next_ = kNeverCycle;
+  Cycle now_ MEDEA_GUARDED_BY(serial_) = 0;
+  std::uint64_t active_cycles_ MEDEA_GUARDED_BY(serial_) = 0;
+  CycleHook* hook_ MEDEA_GUARDED_BY(setup_) = nullptr;
+  Cycle hook_next_ MEDEA_GUARDED_BY(serial_) = kNeverCycle;
 
-  std::vector<std::vector<std::function<void(Cycle)>>> drains_;
-  std::vector<std::function<void(Cycle)>> cycle_end_;
-  std::vector<std::function<void()>> pre_sample_;
+  std::vector<std::vector<std::function<void(Cycle)>>> drains_
+      MEDEA_GUARDED_BY(setup_);
+  std::vector<std::function<void(Cycle)>> cycle_end_ MEDEA_GUARDED_BY(setup_);
+  std::vector<std::function<void()>> pre_sample_ MEDEA_GUARDED_BY(setup_);
 
   // Sense-reversing spin barrier (generation counter + arrival count).
   std::atomic<std::uint32_t> arrived_{0};
@@ -173,12 +205,13 @@ class SimDomain {
   struct alignas(64) PaddedCycle {
     Cycle value = kNeverCycle;
   };
-  std::vector<PaddedCycle> local_next_;
+  std::vector<PaddedCycle> local_next_ MEDEA_GUARDED_BY(publish_);
 
   // Written only by shard 0 in the serial phase, read by all after the
   // following barrier.
-  Cycle pending_flush_ = kNeverCycle;  ///< cycle whose end work is owed
-  bool stop_flag_ = false;
+  Cycle pending_flush_ MEDEA_GUARDED_BY(serial_) =
+      kNeverCycle;  ///< cycle whose end work is owed
+  bool stop_flag_ MEDEA_GUARDED_BY(serial_) = false;
 };
 
 }  // namespace medea::sim

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/scheduler.h"
 #include "sim/types.h"
 
@@ -26,6 +27,21 @@
 ///
 /// These rules make simulation results independent of the order in which
 /// components tick within a cycle.
+///
+/// ## Ownership (clang -Wthread-safety)
+///
+/// A Fifo belongs to exactly one shard: every member is touched only
+/// from the owning shard's scheduler context (its dispatch and commit
+/// phases), or from the external thread while no run is in flight.
+/// That ownership is encoded in the `owner_` capability token: mutators
+/// assert exclusive ownership, const readers assert shared.  The only
+/// cross-shard path is the boundary relay — commit() hands the staged
+/// batch to the relay hook, which appends it to a SimDomain mailbox
+/// (noc::Network::ShardChannel); the consumer-side half is a *different*
+/// Fifo on the consumer's shard, filled via push_committed() from the
+/// consumer shard's own drain phase.  Neither half is ever shared
+/// between threads; the mailbox in between is barrier-handed-off and
+/// carries its own capability.
 
 namespace medea::sim {
 
@@ -44,10 +60,19 @@ class Fifo : public Committable {
   std::size_t capacity() const { return capacity_; }
 
   /// Component to wake when staged data commits (new data visible).
-  void set_consumer(Component* c) { consumer_ = c; }
+  void set_consumer(Component* c) {
+    owner_.assert_held();  // wiring time: model construction, pre-run
+    consumer_ = c;
+  }
   /// Component to wake when a full FIFO frees space.
-  void set_producer(Component* c) { producer_ = c; }
-  Component* consumer() const { return consumer_; }
+  void set_producer(Component* c) {
+    owner_.assert_held();  // wiring time: model construction, pre-run
+    producer_ = c;
+  }
+  Component* consumer() const {
+    owner_.assert_shared();
+    return consumer_;
+  }
 
   // ------------------------------------------------------------------
   // Shard-boundary relay (sim::SimDomain cross-shard links)
@@ -66,6 +91,7 @@ class Fifo : public Committable {
   /// producer_occupancy() undercounts in-flight entries.
   using RelayFn = void (*)(void* ctx, std::vector<T>& staged);
   void set_relay(RelayFn fn, void* ctx) {
+    owner_.assert_held();  // wiring time: model construction, pre-run
     relay_ = fn;
     relay_ctx_ = ctx;
   }
@@ -76,6 +102,9 @@ class Fifo : public Committable {
   /// wakes the consumer; this keeps the wake on the consumer's own
   /// scheduler.
   void push_committed(T v) {
+    // Drain phase of the owning (consumer) shard: runs strictly between
+    // global cycles, standing in for the producer shard's commit().
+    owner_.assert_held();
     assert(capacity_ == 0 || q_.size() < capacity_);
     q_.push_back(std::move(v));
   }
@@ -88,10 +117,12 @@ class Fifo : public Committable {
   /// (including ones popped this cycle, whose slots free at commit)
   /// plus entries staged this cycle.
   std::size_t producer_occupancy() const {
+    owner_.assert_shared();
     return q_.size() + popped_this_cycle_ + staged_.size();
   }
 
   bool can_push() const {
+    owner_.assert_held();  // writes the missed-wakeup latch below
     const bool ok = capacity_ == 0 || producer_occupancy() < capacity_;
     // Remember that a producer found us full so commit() can wake it as
     // soon as space appears; this prevents missed-wakeup hangs.
@@ -101,6 +132,7 @@ class Fifo : public Committable {
 
   /// Stage one element; visible to the consumer next cycle.
   void push(T v) {
+    owner_.assert_held();  // producer runs on the owning shard
     assert(can_push() && "Fifo::push on full FIFO");
     arm_commit();
     staged_.push_back(std::move(v));
@@ -110,10 +142,17 @@ class Fifo : public Committable {
   // Consumer interface
   // ------------------------------------------------------------------
 
-  bool empty() const { return q_.empty(); }
-  std::size_t size() const { return q_.size(); }
+  bool empty() const {
+    owner_.assert_shared();
+    return q_.empty();
+  }
+  std::size_t size() const {
+    owner_.assert_shared();
+    return q_.size();
+  }
 
   const T& front() const {
+    owner_.assert_shared();
     assert(!q_.empty());
     return q_.front();
   }
@@ -123,11 +162,13 @@ class Fifo : public Committable {
   /// observer; it never touches staged data, so peeking cannot perturb
   /// timing.
   const T& peek(std::size_t i) const {
+    owner_.assert_shared();
     assert(i < q_.size());
     return q_[i];
   }
 
   T pop() {
+    owner_.assert_held();  // consumer runs on the owning shard
     assert(!q_.empty());
     T v = std::move(q_.front());
     q_.pop_front();
@@ -141,6 +182,10 @@ class Fifo : public Committable {
   // ------------------------------------------------------------------
 
   void commit() override {
+    // Commit phase of the owning shard's scheduler, or (for a relayed
+    // boundary link) the producer shard handing its batch to the
+    // mailbox — either way, this shard's execution context.
+    owner_.assert_held();
     if (relay_ != nullptr) {
       // Boundary link: the staged batch crosses to the consumer shard's
       // mailbox; the drain phase over there delivers it and issues the
@@ -175,7 +220,7 @@ class Fifo : public Committable {
   /// exported through telemetry.  commit() resets the stamp so a FIFO
   /// re-armed in the same cycle from outside the run loop (test setup
   /// code) can never lose its registration.
-  void arm_commit() {
+  void arm_commit() MEDEA_REQUIRES(owner_) {
     const Cycle now = sched_.now();
     if (commit_stamp_ == now) {
       sched_.note_commit_dedup();
@@ -185,18 +230,21 @@ class Fifo : public Committable {
     sched_.defer_commit(*this);
   }
 
+  /// The owning shard's execution context (see the file comment).
+  core::Capability owner_;
+
   Scheduler& sched_;
   std::string name_;
   std::size_t capacity_;
-  std::deque<T> q_;
-  std::vector<T> staged_;
-  std::size_t popped_this_cycle_ = 0;
-  Cycle commit_stamp_ = kNeverCycle;
-  mutable bool push_blocked_ = false;
-  Component* consumer_ = nullptr;
-  Component* producer_ = nullptr;
-  RelayFn relay_ = nullptr;
-  void* relay_ctx_ = nullptr;
+  std::deque<T> q_ MEDEA_GUARDED_BY(owner_);
+  std::vector<T> staged_ MEDEA_GUARDED_BY(owner_);
+  std::size_t popped_this_cycle_ MEDEA_GUARDED_BY(owner_) = 0;
+  Cycle commit_stamp_ MEDEA_GUARDED_BY(owner_) = kNeverCycle;
+  mutable bool push_blocked_ MEDEA_GUARDED_BY(owner_) = false;
+  Component* consumer_ MEDEA_GUARDED_BY(owner_) = nullptr;
+  Component* producer_ MEDEA_GUARDED_BY(owner_) = nullptr;
+  RelayFn relay_ MEDEA_GUARDED_BY(owner_) = nullptr;
+  void* relay_ctx_ MEDEA_GUARDED_BY(owner_) = nullptr;
 };
 
 }  // namespace medea::sim
