@@ -1,0 +1,384 @@
+#!/usr/bin/env python3
+"""Determinism linter for the MEDEA simulation kernel.
+
+The simulator's headline contract is bit-identical results across event
+-queue kernels, shard counts and runs (ROADMAP: "Determinism");
+test_scheduler_diff enforces it dynamically, but only for code paths the
+registry workloads exercise.  This linter encodes the static half of the
+contract — the source patterns that historically break determinism —
+and runs in CI over every change:
+
+  unordered-iteration      Iterating a std::unordered_{map,set} yields
+                           hash-seed/insertion-order-dependent element
+                           order.  Lookups are fine; iteration in
+                           dispatch, observer or stat-export paths is
+                           not.
+  banned-time-source       rand()/std::random_device/system_clock/
+                           steady_clock/time() inside src/sim + src/noc:
+                           model behavior must be a pure function of
+                           (config, seed).  Host-time *metrics* (barrier
+                           spin time, telemetry wall-clock) are fine —
+                           suppress those sites explicitly.
+  pointer-keyed-iteration  Iterating a container keyed by pointers
+                           visits elements in address order, which
+                           changes run to run under ASLR/allocation
+                           noise.
+  kernel-counter-export    Only the kernel-independent scheduler
+                           counters (sched.wake_requests,
+                           sched.wakes_deduped, sched.active_cycles) may
+                           enter RunResult::stats; the differential
+                           tests compare full counter maps across
+                           kernels, so bucket/overflow/commit-push
+                           counters must stay out of export paths.
+  statset-key-hygiene      StatSet keys are dotted lowercase snake_case
+                           ("noc.flits_delivered"); mixed-case or
+                           spaced keys break downstream JSON consumers
+                           and the telemetry naming convention.
+
+Suppressions: append `// lint:allow(<rule>[,<rule>...])` to the
+offending line, with a comment justifying the exception.
+
+Usage:
+  lint_determinism.py [paths...] [--json FILE] [--list-rules] [--quiet]
+
+With no paths, scans the default kernel scope relative to the repo root
+(the directory containing this script's parent).  Paths under src/ get
+the per-rule scope below; paths outside src/ (test fixtures) get every
+rule.  Exits 1 iff findings remain after suppressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------
+
+# Per-rule path scopes, as repo-relative prefixes.  None = every scanned
+# file.  Files outside src/ (fixtures) always get every rule.
+RULES: dict[str, dict] = {
+    "unordered-iteration": {
+        "scope": ("src/sim", "src/noc", "src/workload", "src/dse"),
+        "message": "iteration over unordered container '{name}' "
+        "(hash order is not deterministic)",
+    },
+    "banned-time-source": {
+        "scope": ("src/sim", "src/noc"),
+        "message": "banned time/randomness source '{name}' in kernel code "
+        "(results must be a pure function of config and seed)",
+    },
+    "pointer-keyed-iteration": {
+        "scope": ("src/sim", "src/noc", "src/workload", "src/dse"),
+        "message": "iteration over pointer-keyed container '{name}' "
+        "(address order varies run to run)",
+    },
+    "kernel-counter-export": {
+        "scope": ("src/workload", "src/dse"),
+        "message": "kernel-dependent counter '{name}' in a stat-export "
+        "path (differential tests compare full counter maps "
+        "across kernels)",
+    },
+    "statset-key-hygiene": {
+        "scope": ("src/",),
+        "message": "StatSet key {name} is not dotted lowercase "
+        "snake_case",
+    },
+}
+
+DEFAULT_SCAN_DIRS = ("src/sim", "src/noc", "src/workload", "src/dse")
+
+SUPPRESS_RE = re.compile(r"//.*?\blint:allow\(([a-z\-,\s]+)\)")
+
+# Container declarations worth tracking.  Group 1: template head,
+# group 2: declared name.  Deliberately line-local: the codebase
+# declares one member/local per line (clang-format enforces it).
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std::)?(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset)\s*<[^;]*>\s+(\w+)\s*[;{=(]"
+)
+PTR_KEYED_DECL_RE = re.compile(
+    r"\b(?:std::)?(map|set|unordered_map|unordered_set)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*\s*[,>]"
+    r"[^;]*?\s+(\w+)\s*[;{=(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
+ITER_BEGIN_RE = re.compile(r"=\s*(?:\w+(?:\.|->))*(\w+)\.(?:begin|cbegin)\(\)")
+
+TIME_SOURCE_RE = re.compile(
+    r"\b(std::random_device|random_device|system_clock|steady_clock|"
+    r"high_resolution_clock|gettimeofday|srand|rand|time|clock)\s*(?=\()"
+    r"|\b(std::random_device|system_clock|steady_clock|"
+    r"high_resolution_clock)\b"
+)
+# rand/time/clock only count as the libc functions when called bare or
+# via std:: — member calls like sched.now() or tp.time() must not trip.
+BARE_CALL_GUARD_RE = re.compile(r"(?:\.|->|\w)$")
+
+KERNEL_COUNTERS = (
+    "bucket_pushes",
+    "overflow_pushes",
+    "commit_pushes",
+    "commits_deduped",
+)
+KERNEL_COUNTER_RE = re.compile(r"\b(" + "|".join(KERNEL_COUNTERS) + r")\b")
+STATS_CONTEXT_RE = re.compile(r"\bstats\b|\bStatSet\b|\.set\(|\.inc\(")
+
+STATSET_CALL_RE = re.compile(
+    r"\.(?:set|inc|get|sample|counter|accumulator|acc)\(\s*"
+    r"((?:[\w.>:\-]+(?:\(\))?\s*\+\s*)?)\"([^\"]*)\""
+)
+STATSET_KEY_OK_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message", "snippet")
+
+    def __init__(self, path: str, line: int, rule: str, message: str,
+                 snippet: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.snippet = snippet
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _strip_block_comments(lines: list[str]) -> list[str]:
+    """Blank out /* ... */ spans, preserving line structure."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                start = line.find("/*", i)
+                if start < 0:
+                    result.append(line[i:])
+                    i = len(line)
+                else:
+                    result.append(line[:start] if i == 0 else line[i:start])
+                    in_block = True
+                    i = start + 2
+        out.append("".join(result))
+    return out
+
+
+def _code_of(line: str) -> str:
+    """Line with comments removed (string literals kept)."""
+    masked = STRING_RE.sub(lambda m: '"' + "_" * (len(m.group(0)) - 2) + '"',
+                           line)
+    cut = masked.find("//")
+    return line[:cut] if cut >= 0 else line
+
+
+def _suppressions(line: str) -> set[str]:
+    m = SUPPRESS_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",") if r.strip()}
+
+
+def _rule_applies(rule: str, rel: str) -> bool:
+    if not rel.startswith("src/"):
+        return True  # fixtures: every rule
+    return rel.startswith(tuple(RULES[rule]["scope"]))
+
+
+def lint_file(path: Path, rel: str) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"lint_determinism: cannot read {path}: {e}", file=sys.stderr)
+        return []
+    raw_lines = text.splitlines()
+    lines = _strip_block_comments(raw_lines)
+
+    unordered_names: set[str] = set()
+    ptr_keyed_names: set[str] = set()
+    findings: list[Finding] = []
+
+    # Pass 1: collect container declarations (whole file, so members
+    # declared below their first use are still seen).
+    for line in lines:
+        code = _code_of(line)
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(2))
+        for m in PTR_KEYED_DECL_RE.finditer(code):
+            ptr_keyed_names.add(m.group(2))
+
+    def report(rule: str, lineno: int, name: str, raw: str):
+        if rule in _suppressions(raw):
+            return
+        if not _rule_applies(rule, rel):
+            return
+        findings.append(
+            Finding(rel, lineno, rule,
+                    RULES[rule]["message"].format(name=name),
+                    raw.strip()[:160]))
+
+    # Pass 2: per-line checks.
+    for lineno, (raw, line) in enumerate(zip(raw_lines, lines), start=1):
+        code = _code_of(line)
+        if not code.strip():
+            continue
+
+        iterated: set[str] = set()
+        for m in RANGE_FOR_RE.finditer(code):
+            iterated.add(m.group(1))
+        for m in ITER_BEGIN_RE.finditer(code):
+            iterated.add(m.group(1))
+        for name in sorted(iterated & unordered_names):
+            report("unordered-iteration", lineno, name, raw)
+        for name in sorted(iterated & ptr_keyed_names):
+            report("pointer-keyed-iteration", lineno, name, raw)
+
+        masked = CHAR_RE.sub("''", STRING_RE.sub('""', code))
+        for m in TIME_SOURCE_RE.finditer(masked):
+            name = m.group(1) or m.group(2)
+            if name in ("rand", "srand", "time", "clock"):
+                # Reject member/qualified calls except std::.
+                prefix = masked[: m.start()]
+                if prefix.endswith(("std::",)):
+                    pass
+                elif BARE_CALL_GUARD_RE.search(prefix.rstrip()):
+                    continue
+            report("banned-time-source", lineno, name, raw)
+
+        if STATS_CONTEXT_RE.search(masked) or KERNEL_COUNTER_RE.search(masked):
+            # Counter *reads* feeding an export line: flag when the line
+            # also touches a stats object / StatSet call.
+            if STATS_CONTEXT_RE.search(masked):
+                for m in KERNEL_COUNTER_RE.finditer(masked):
+                    report("kernel-counter-export", lineno, m.group(1), raw)
+
+        for m in STATSET_CALL_RE.finditer(code):
+            key = m.group(2)
+            # Keys built by concatenation (prefix + "suffix" or
+            # "prefix." + var) are checked as fragments: every character
+            # must stay in the dotted-snake-case alphabet, but the shape
+            # check only applies to whole-key literals.
+            is_fragment = bool(m.group(1)) or \
+                code[m.end():].lstrip().startswith("+")
+            if is_fragment:
+                if not re.fullmatch(r"[a-z0-9_.]*", key):
+                    report("statset-key-hygiene", lineno, f'"{key}"', raw)
+            elif not STATSET_KEY_OK_RE.match(key):
+                report("statset-key-hygiene", lineno, f'"{key}"', raw)
+
+    return findings
+
+
+def collect_files(root: Path, paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    targets = paths if paths else [str(root / d) for d in DEFAULT_SCAN_DIRS]
+    for t in targets:
+        p = Path(t)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.h")))
+            files.extend(sorted(p.rglob("*.cpp")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"lint_determinism: no such path: {t}", file=sys.stderr)
+    # De-dup, stable order.
+    seen = set()
+    out = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            out.append(f)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="MEDEA determinism linter (see module docstring)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: kernel scope)")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write a machine-readable report")
+    ap.add_argument("--root", metavar="DIR",
+                    help="repo root (default: this script's parent dir)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-finding output")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, spec in RULES.items():
+            print(f"{rule}: scope {', '.join(spec['scope'])}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parent.parent
+    files = collect_files(root, args.paths)
+
+    findings: list[Finding] = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            rel = str(f)
+        findings.extend(lint_file(f, rel))
+
+    if not args.quiet:
+        for fi in findings:
+            print(fi)
+
+    if args.json:
+        counts: dict[str, int] = {}
+        for fi in findings:
+            counts[fi.rule] = counts.get(fi.rule, 0) + 1
+        report = {
+            "version": 1,
+            "tool": "lint_determinism",
+            "files_scanned": len(files),
+            "findings": [fi.to_dict() for fi in findings],
+            "counts": counts,
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n",
+                                   encoding="utf-8")
+
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"lint_determinism: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Unit tests for lint_determinism.py, driven by the fixture files in
+tests/lint_fixtures/.  Run directly or through CTest
+(`ctest -R lint_determinism`)."""
+
+import importlib.util
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent
+ROOT = SCRIPTS.parent
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+spec = importlib.util.spec_from_file_location(
+    "lint_determinism", SCRIPTS / "lint_determinism.py")
+lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint)
+
+
+def run_fixture(name: str):
+    path = FIXTURES / name
+    assert path.exists(), f"missing fixture {path}"
+    return lint.lint_file(path, f"tests/lint_fixtures/{name}")
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class FixtureTests(unittest.TestCase):
+    def test_unordered_iteration(self):
+        findings = run_fixture("bad_unordered_iteration.cpp")
+        self.assertEqual(rules_of(findings), ["unordered-iteration"] * 3)
+        # Range-for over the map, range-for over the set, iterator loop.
+        self.assertEqual([f.line for f in findings], [15, 16, 17])
+
+    def test_banned_time_source(self):
+        findings = run_fixture("bad_time_source.cpp")
+        self.assertEqual(rules_of(findings), ["banned-time-source"] * 6)
+        names = [f.message.split("'")[1] for f in findings]
+        self.assertEqual(names, [
+            "rand", "time", "std::random_device", "system_clock",
+            "steady_clock", "srand"
+        ])
+
+    def test_member_functions_named_like_libc_do_not_trip(self):
+        findings = run_fixture("bad_time_source.cpp")
+        flagged_lines = {f.line for f in findings}
+        # c.time() / this->sched_time() live on lines 27-29: never flagged.
+        self.assertFalse(flagged_lines & {23, 24, 25, 26, 27, 28, 29, 30})
+
+    def test_pointer_keyed_iteration(self):
+        findings = run_fixture("bad_pointer_keyed.cpp")
+        self.assertEqual(rules_of(findings), ["pointer-keyed-iteration"] * 2)
+
+    def test_kernel_counter_export(self):
+        findings = run_fixture("bad_kernel_counter_export.cpp")
+        self.assertEqual(rules_of(findings), ["kernel-counter-export"] * 3)
+        names = sorted(f.message.split("'")[1] for f in findings)
+        self.assertEqual(
+            names, ["bucket_pushes", "commits_deduped", "overflow_pushes"])
+
+    def test_statset_key_hygiene(self):
+        findings = run_fixture("bad_statset_keys.cpp")
+        self.assertEqual(rules_of(findings), ["statset-key-hygiene"] * 4)
+
+    def test_suppressions_silence_findings(self):
+        self.assertEqual(run_fixture("suppressed_clean.cpp"), [])
+
+    def test_clean_file(self):
+        self.assertEqual(run_fixture("clean.cpp"), [])
+
+
+class ScopeTests(unittest.TestCase):
+    """Rules only fire inside their path scope for src/ files."""
+
+    def test_time_source_rule_limited_to_kernel_dirs(self):
+        path = FIXTURES / "bad_time_source.cpp"
+        in_scope = lint.lint_file(path, "src/sim/fake.cpp")
+        out_of_scope = lint.lint_file(path, "src/workload/fake.cpp")
+        self.assertTrue(
+            any(f.rule == "banned-time-source" for f in in_scope))
+        self.assertFalse(
+            any(f.rule == "banned-time-source" for f in out_of_scope))
+
+    def test_counter_export_rule_limited_to_export_dirs(self):
+        path = FIXTURES / "bad_kernel_counter_export.cpp"
+        in_scope = lint.lint_file(path, "src/workload/fake.cpp")
+        out_of_scope = lint.lint_file(path, "src/sim/fake.cpp")
+        self.assertTrue(
+            any(f.rule == "kernel-counter-export" for f in in_scope))
+        self.assertFalse(
+            any(f.rule == "kernel-counter-export" for f in out_of_scope))
+
+
+class CliTests(unittest.TestCase):
+    def test_exit_code_and_json_report(self):
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "report.json"
+            rc = lint.main([
+                str(FIXTURES / "bad_unordered_iteration.cpp"),
+                "--json", str(out), "--quiet",
+            ])
+            self.assertEqual(rc, 1)
+            report = json.loads(out.read_text())
+            self.assertEqual(report["tool"], "lint_determinism")
+            self.assertEqual(report["counts"], {"unordered-iteration": 3})
+            self.assertEqual(len(report["findings"]), 3)
+            for f in report["findings"]:
+                self.assertIn("path", f)
+                self.assertIn("line", f)
+                self.assertIn("rule", f)
+                self.assertIn("snippet", f)
+
+    def test_clean_run_exits_zero(self):
+        rc = lint.main([str(FIXTURES / "clean.cpp"), "--quiet"])
+        self.assertEqual(rc, 0)
+
+    def test_real_tree_is_clean(self):
+        # The repo's own kernel scope must lint clean (suppressions are
+        # part of the tree); this is the same gate CI runs.
+        rc = lint.main(["--root", str(ROOT), "--quiet"])
+        self.assertEqual(rc, 0)
+
+    def test_list_rules(self):
+        self.assertEqual(lint.main(["--list-rules"]), 0)
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -104,7 +104,10 @@ void SimDomain::barrier_wait(std::uint64_t* wait_ns) {
     generation_.store(gen + 1, std::memory_order_release);
     return;
   }
-  const auto spin_start = std::chrono::steady_clock::now();
+  // Host-time metric only (barrier_wait_ns, the load-imbalance gauge):
+  // never feeds simulated state.
+  const auto spin_start =
+      std::chrono::steady_clock::now();  // lint:allow(banned-time-source)
   std::uint32_t spins = 0;
   while (generation_.load(std::memory_order_acquire) == gen) {
     if (++spins >= 4096) {
@@ -114,7 +117,8 @@ void SimDomain::barrier_wait(std::uint64_t* wait_ns) {
   }
   *wait_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - spin_start)
+          std::chrono::steady_clock::now() -  // lint:allow(banned-time-source)
+          spin_start)
           .count());
 }
 

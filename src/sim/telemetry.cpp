@@ -189,7 +189,9 @@ void Sampler::finish(sim::Cycle end) {
 // ---------------------------------------------------------------------
 
 struct HostProfiler::Impl {
-  std::chrono::steady_clock::time_point epoch;
+  // The host profiler measures wall-clock spans of the *simulator
+  // process* (Perfetto host track); simulated time never reads it.
+  std::chrono::steady_clock::time_point epoch;  // lint:allow(banned-time-source)
   std::atomic<bool> enabled{false};
   mutable std::mutex mu;
   std::vector<HostSpan> spans;
@@ -201,7 +203,9 @@ thread_local std::uint32_t t_tid = ~std::uint32_t{0};
 }  // namespace
 
 HostProfiler::HostProfiler() : impl_(new Impl) {
-  impl_->epoch = std::chrono::steady_clock::now();
+  // Host-track epoch, not simulated time.
+  impl_->epoch =
+      std::chrono::steady_clock::now();  // lint:allow(banned-time-source)
 }
 
 HostProfiler& HostProfiler::instance() {
@@ -218,9 +222,11 @@ void HostProfiler::set_enabled(bool on) {
 }
 
 std::uint64_t HostProfiler::now_us() const {
+  // Host-track timestamp, not simulated time.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - impl_->epoch)
+          std::chrono::steady_clock::now() -  // lint:allow(banned-time-source)
+          impl_->epoch)
           .count());
 }
 

@@ -1,0 +1,26 @@
+// Fixture: kernel-dependent scheduler counters entering an exported
+// StatSet (the differential tests compare full counter maps across
+// event-queue kernels, so these must never reach RunResult::stats).
+// Expected findings: kernel-counter-export x3 (plus one clean line).
+struct Scheduler {
+  unsigned long bucket_pushes() const { return 0; }
+  unsigned long overflow_pushes() const { return 0; }
+  unsigned long commits_deduped() const { return 0; }
+  unsigned long wake_requests() const { return 0; }
+};
+struct StatSet {
+  void set(const char*, unsigned long) {}
+};
+
+void export_stats(const Scheduler& sched, StatSet& stats) {
+  stats.set("sched.bucket_pushes", sched.bucket_pushes());      // finding 1
+  stats.set("sched.overflow_pushes", sched.overflow_pushes());  // finding 2
+  stats.set("sched.commits_deduped", sched.commits_deduped());  // finding 3
+  stats.set("sched.wake_requests", sched.wake_requests());  // OK: kernel-indep
+}
+
+// Reading the counters without a stats context is fine (telemetry
+// timeline series sample them live).
+unsigned long sample(const Scheduler& sched) {
+  return sched.bucket_pushes() + sched.overflow_pushes();
+}

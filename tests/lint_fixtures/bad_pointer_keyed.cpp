@@ -1,0 +1,20 @@
+// Fixture: iteration over pointer-keyed containers (address order
+// varies under ASLR/allocation noise).
+// Expected findings: pointer-keyed-iteration x2.
+#include <map>
+#include <set>
+
+struct Component;
+
+struct Registry {
+  std::map<Component*, int> prio_;
+  std::set<const Component*> live_;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& [c, p] : prio_) sum += p;        // finding 1
+    for (const Component* c : live_) sum += c != nullptr;  // finding 2
+    // Keyed lookup is deterministic; only iteration order is not.
+    return sum + static_cast<int>(prio_.count(nullptr));
+  }
+};

@@ -1,0 +1,20 @@
+// Fixture: StatSet key naming hygiene — keys are dotted lowercase
+// snake_case.  Expected findings: statset-key-hygiene x4.
+#include <string>
+
+struct StatSet {
+  void set(const std::string&, unsigned long) {}
+  void inc(const std::string&, unsigned long = 1) {}
+  unsigned long get(const std::string&) const { return 0; }
+  void sample(const std::string&, double) {}
+};
+
+void fill(StatSet& stats, const std::string& prefix) {
+  stats.set("noc.flits_delivered", 1);     // OK
+  stats.inc("sched.wake_requests");        // OK
+  stats.set("noc.FlitsDelivered", 1);      // finding 1: camel case
+  stats.inc("noc latency");                // finding 2: space
+  stats.sample("Noc.latency", 0.5);        // finding 3: uppercase segment
+  stats.set(prefix + "flits_delivered", 1);  // OK: lowercase fragment
+  (void)stats.get(prefix + "Bad Frag");    // finding 4: bad fragment
+}

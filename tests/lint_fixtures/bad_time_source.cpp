@@ -1,0 +1,31 @@
+// Fixture: wall-clock / host-randomness sources in kernel code.
+// Expected findings: banned-time-source x6.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct TieBreaker {
+  int pick(int n) {
+    int r = rand() % n;                                   // finding 1
+    r ^= static_cast<int>(time(nullptr));                 // finding 2
+    std::random_device rd;                                // finding 3
+    r ^= static_cast<int>(rd());
+    auto now = std::chrono::system_clock::now();          // finding 4
+    auto mono = std::chrono::steady_clock::now();         // finding 5
+    srand(42);                                            // finding 6
+    (void)now;
+    (void)mono;
+    return r;
+  }
+
+  // Member functions named like libc must NOT trip the rule.
+  struct Clock {
+    long time() { return 0; }
+  };
+  long fine() {
+    Clock c;
+    return c.time() + this->sched_time();
+  }
+  long sched_time() { return 0; }
+};

@@ -1,0 +1,23 @@
+// Fixture: iteration over unordered containers (hash order leaks into
+// behavior).  Expected findings: unordered-iteration x3.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Dispatcher {
+  std::unordered_map<std::uint32_t, int> pending_;
+  std::unordered_set<std::string> names_;
+
+  int drain() {
+    int sum = 0;
+    for (const auto& [uid, v] : pending_) sum += v;  // finding 1
+    for (const auto& n : names_) sum += static_cast<int>(n.size());  // 2
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {  // 3
+      sum += it->second;
+    }
+    // Lookup is fine: no iteration, no order dependence.
+    return sum + static_cast<int>(pending_.count(7));
+  }
+};

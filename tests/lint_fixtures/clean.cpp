@@ -1,0 +1,34 @@
+// Fixture: idiomatic deterministic kernel code — the linter must stay
+// silent.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct StatSet {
+  void set(const std::string&, std::uint64_t) {}
+  std::uint64_t get(const std::string&) const { return 0; }
+};
+
+struct Model {
+  // Ordered map: iteration order is the key order, deterministic.
+  std::map<std::string, std::uint64_t> counters_;
+  // Unordered map used for lookup only.
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+  std::vector<int> order_;
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [k, v] : counters_) sum += v;
+    for (int v : order_) sum += static_cast<std::uint64_t>(v);
+    auto it = index_.find(7);
+    if (it != index_.end()) sum += it->second;
+    return sum;
+  }
+
+  void export_stats(StatSet& stats) const {
+    stats.set("model.total", total());
+    stats.set("sched.wake_requests", 0);  // kernel-independent counter
+  }
+};

@@ -1,0 +1,19 @@
+// Fixture: every violation carries a justified line-level suppression,
+// so the linter must report nothing.
+#include <chrono>
+#include <unordered_map>
+
+struct HostMetrics {
+  std::unordered_map<int, long> spans_;
+
+  long wall_us() {
+    // Host profiling span, never feeds simulated state.
+    auto t0 =
+        std::chrono::steady_clock::now();  // lint:allow(banned-time-source)
+    long sum = 0;
+    // Order-insensitive reduction (sum), host-metrics path.
+    for (const auto& [id, v] : spans_) sum += v;  // lint:allow(unordered-iteration)
+    (void)t0;
+    return sum;
+  }
+};
