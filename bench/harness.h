@@ -196,8 +196,8 @@ class Report {
   ///   --reps=N       override repetitions
   ///   --warmup=N     override warm-up invocations
   ///   --json-dir=D   directory for the JSON file (default ".")
-  Report(std::string name, int argc = 0, char** argv = nullptr,
-         RunOptions defaults = {})
+  explicit Report(std::string name, int argc = 0, char** argv = nullptr,
+                  RunOptions defaults = {})
       : name_(std::move(name)), opt_(defaults) {
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
