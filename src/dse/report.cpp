@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <stdexcept>
 
 namespace medea::dse {
@@ -51,7 +52,7 @@ std::string to_csv(const std::vector<SweepPoint>& pts) {
        << (p.metric_name.empty() ? "cycles_per_iteration" : p.metric_name)
        << ',' << p.area_mm2 << ',' << p.label << '\n';
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string exec_time_dat(const std::vector<ExecTimeCurve>& curves) {
@@ -80,7 +81,7 @@ std::string exec_time_dat(const std::vector<ExecTimeCurve>& curves) {
     }
     os << '\n';
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string exec_time_gp(const std::vector<ExecTimeCurve>& curves,
@@ -99,7 +100,7 @@ std::string exec_time_gp(const std::vector<ExecTimeCurve>& curves,
        << " title \"" << curves[i].title << '"';
   }
   os << '\n';
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string speedup_dat(const std::vector<SpeedupPoint>& curve) {
@@ -108,7 +109,7 @@ std::string speedup_dat(const std::vector<SpeedupPoint>& curve) {
   for (const auto& p : curve) {
     os << p.area_mm2 << ' ' << p.speedup << " \"" << p.label << "\"\n";
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string speedup_gp(const std::string& dat_filename,
@@ -121,7 +122,7 @@ std::string speedup_gp(const std::string& dat_filename,
      << "plot \"" << dat_filename
      << "\" using 1:2 with linespoints notitle, \\\n     \"" << dat_filename
      << "\" using 1:2:3 with labels offset char 1,1 notitle\n";
-  return os.str();
+  return std::move(os).str();
 }
 
 void write_file(const std::string& path, const std::string& content) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 #include <thread>
 
 #include "core/system.h"
@@ -108,7 +109,7 @@ SweepPoint run_design_point(const SweepSpec& spec, int cores,
   pt.injection_rate = injection_rate;
   pt.measurement = res.measurement;
   pt.host_ms = host_ms;
-  pt.label = label.str();
+  pt.label = std::move(label).str();
   return pt;
 }
 

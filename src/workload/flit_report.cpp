@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "noc/coord.h"
@@ -92,7 +93,7 @@ std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
       first = false;
     }
     e << "]";
-    return e.str();
+    return std::move(e).str();
   };
   os << "  \"hop_histogram\": " << hist(ft.hop_histogram()) << ",\n";
   os << "  \"deflection_histogram\": " << hist(ft.deflection_histogram())
@@ -114,7 +115,7 @@ std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
       e << "]";
     }
     e << "]";
-    return e.str();
+    return std::move(e).str();
   };
   os << "  \"links\": {\"dirs\": [\"N\", \"E\", \"S\", \"W\"], \"flits\": "
      << grids(ft.link_flits()) << ", \"deflected\": "
@@ -192,7 +193,7 @@ std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
              true);
   os << "  }\n";
   os << "}\n";
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string format_worst_flits(const telemetry::FlitTrace& ft, int k) {
@@ -227,7 +228,7 @@ std::string format_worst_flits(const telemetry::FlitTrace& ft, int k) {
     os << "    t=" << f->deliver_cycle << "  delivered at "
        << coord_str(f->dst, ft.width) << "\n";
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace medea::workload

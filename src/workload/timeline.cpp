@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 namespace medea::workload {
 
@@ -79,7 +80,10 @@ void split_series(const telemetry::Timeline& tl,
   for (const telemetry::Series& s : tl.series) {
     RouterSeries rs;
     if (parse_router_series(s, rs)) {
-      groups[rs.group].push_back(rs);
+      // The map slot is selected before the argument moves from rs
+      // (object expression sequenced first), so keying on rs.group here
+      // is safe.
+      groups[rs.group].push_back(std::move(rs));
     } else {
       plain.push_back(&s);
     }
@@ -160,7 +164,7 @@ std::string format_timeline_json(const telemetry::Timeline& tl,
   }
   os << "\n  ]\n";
   os << "}\n";
-  return os.str();
+  return std::move(os).str();
 }
 
 std::string format_timeline_csv(const telemetry::Timeline& tl) {
@@ -173,7 +177,7 @@ std::string format_timeline_csv(const telemetry::Timeline& tl) {
     for (const telemetry::Series& s : tl.series) os << "," << value_at(s, w);
     os << "\n";
   }
-  return os.str();
+  return std::move(os).str();
 }
 
 namespace {
@@ -195,7 +199,7 @@ std::string format_chrome_trace_impl(
     e << "{\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
       << ", \"name\": \"" << what << "\", \"args\": {\"name\": \""
       << json_escape(name) << "\"}}";
-    emit(e.str());
+    emit(std::move(e).str());
   };
   const auto span_ev = [&](int pid, int tid, const std::string& name,
                            const std::string& cat, std::uint64_t ts,
@@ -205,7 +209,7 @@ std::string format_chrome_trace_impl(
       << ", \"name\": \"" << json_escape(name) << "\", \"cat\": \""
       << json_escape(cat) << "\", \"ts\": " << ts << ", \"dur\": " << dur
       << "}";
-    emit(e.str());
+    emit(std::move(e).str());
   };
   const auto counter_ev = [&](int pid, const std::string& name,
                               std::uint64_t ts, const std::string& value) {
@@ -213,7 +217,7 @@ std::string format_chrome_trace_impl(
     e << "{\"ph\": \"C\", \"pid\": " << pid << ", \"tid\": 0, \"name\": \""
       << json_escape(name) << "\", \"cat\": \"telemetry\", \"ts\": " << ts
       << ", \"args\": {\"value\": " << value << "}}";
-    emit(e.str());
+    emit(std::move(e).str());
   };
 
   // --- pid 1: the simulated-time domain, cycles rendered as µs ---
@@ -284,7 +288,7 @@ std::string format_chrome_trace_impl(
         << ", \"ts\": " << ts;
       if (end_binding) e << ", \"bp\": \"e\"";
       e << "}";
-      emit(e.str());
+      emit(std::move(e).str());
     };
     const auto router_tid = [](std::uint16_t node) {
       return 100 + static_cast<int>(node);
@@ -351,7 +355,7 @@ std::string format_chrome_trace_impl(
   os << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"schema\": "
         "\"medea-chrome-trace-v1\", \"workload\": \""
      << json_escape(meta.workload) << "\", \"seed\": " << meta.seed << "}}\n";
-  return os.str();
+  return std::move(os).str();
 }
 
 }  // namespace
