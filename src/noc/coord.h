@@ -54,8 +54,16 @@ struct Coord {
 /// Geometry of a W x H folded torus.
 class TorusGeometry {
  public:
+  /// Coord packs x/y into uint8_t (flit headers carry 8-bit node
+  /// coordinates, paper §II-B), so each axis is capped at 256 nodes —
+  /// far above the paper's 60x60 — and the cast sites in coord_of()/
+  /// neighbor() below are provably value-preserving.
+  static constexpr int kMaxAxis = 256;
+
   TorusGeometry(int width, int height) : w_(width), h_(height) {
     assert(width >= 1 && height >= 1);
+    assert(width <= kMaxAxis && height <= kMaxAxis &&
+           "axis size exceeds Coord's uint8_t range");
   }
 
   int width() const { return w_; }
