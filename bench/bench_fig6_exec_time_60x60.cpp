@@ -83,6 +83,8 @@ int main(int argc, char** argv) {
 
   // With MEDEA_REPORT_DIR set, also emit gnuplot artifacts reproducing
   // the figure ("gnuplot fig6.gp") plus a CSV of the raw sweep.
+  // Single-threaded bench startup; no concurrent env access.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* dir = std::getenv("MEDEA_REPORT_DIR")) {
     const std::string base = std::string(dir) + "/fig6_" + std::to_string(n);
     const auto curves = dse::exec_time_curves(points);

@@ -65,6 +65,8 @@ int main(int argc, char** argv) {
   m.metric("knee_speedup", baseline / frontier[knee].exec_cycles);
   report.add(std::move(m));
 
+  // Single-threaded bench startup; no concurrent env access.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* dir = std::getenv("MEDEA_REPORT_DIR")) {
     const std::string base = std::string(dir) + "/fig7_" + std::to_string(n);
     dse::write_file(base + ".dat", dse::speedup_dat(curve));
