@@ -62,8 +62,12 @@ int main(int argc, char** argv) {
   };
 
   std::printf("%-6s", "cores");
-  for (auto kb : cache_kb) std::printf("%10s", (std::to_string(kb) + "k$WB").c_str());
-  for (auto kb : cache_kb) std::printf("%10s", (std::to_string(kb) + "k$WT").c_str());
+  for (auto kb : cache_kb) {
+    std::printf("%10s", (std::to_string(kb) + "k$WB").c_str());
+  }
+  for (auto kb : cache_kb) {
+    std::printf("%10s", (std::to_string(kb) + "k$WT").c_str());
+  }
   std::printf("\n");
   for (int cores = 2; cores <= 15; ++cores) {
     std::printf("%-6d", cores);

@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
   }
   bench::Report report("sim_speed", argc, argv);
   if (only_shards < 0) {
-    report.add(design_point(report.options(), 2, 2));    // worst: miss-dominated
+    report.add(design_point(report.options(), 2, 2));    // worst: miss-bound
     report.add(design_point(report.options(), 8, 16));   // mid
     report.add(design_point(report.options(), 15, 64));  // best: compute-bound
   }

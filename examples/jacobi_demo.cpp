@@ -19,7 +19,8 @@ using namespace medea;
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 30;
   const int cores = argc > 2 ? std::atoi(argv[2]) : 8;
-  const auto cache_kb = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16u;
+  const auto cache_kb =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16u;
 
   std::printf("Jacobi %dx%d on %d cores + MPMMU, %u kB WB L1\n\n", n, n, cores,
               cache_kb);
@@ -46,8 +47,10 @@ int main(int argc, char** argv) {
     std::printf("%-22s %14.0f %10s %12llu %12llu\n", to_string(variant),
                 res.cycles_per_iteration,
                 res.max_abs_error == 0.0 ? "bit-exact" : "FAILED",
-                static_cast<unsigned long long>(stats.get("noc.flits_delivered")),
-                static_cast<unsigned long long>(stats.get("mpmmu.transactions")));
+                static_cast<unsigned long long>(
+                    stats.get("noc.flits_delivered")),
+                static_cast<unsigned long long>(
+                    stats.get("mpmmu.transactions")));
   }
 
   std::printf("\nThe hybrid variant avoids the MPMMU for both data and\n"

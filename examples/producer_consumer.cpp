@@ -36,7 +36,8 @@ sim::Task<> sm_producer(pe::ProcessingElement& pe, Ring r, int items) {
     if (h.value - t.value < kSlots) {  // space available
       const mem::Addr slot = r.slots + (h.value % kSlots) * 4;
       co_await pe.store_uncached(slot, static_cast<std::uint32_t>(100 + i));
-      co_await pe.store_uncached(r.head, static_cast<std::uint32_t>(h.value) + 1);
+      co_await pe.store_uncached(r.head,
+                                 static_cast<std::uint32_t>(h.value) + 1);
       ++i;
     }
     co_await pe.unlock(r.lock_word);
@@ -53,7 +54,8 @@ sim::Task<> sm_consumer(pe::ProcessingElement& pe, Ring r, int items,
       const mem::Addr slot = r.slots + (t.value % kSlots) * 4;
       auto v = co_await pe.load_uncached(slot);
       (void)v;
-      co_await pe.store_uncached(r.tail, static_cast<std::uint32_t>(t.value) + 1);
+      co_await pe.store_uncached(r.tail,
+                                 static_cast<std::uint32_t>(t.value) + 1);
       ++i;
     }
     co_await pe.unlock(r.lock_word);

@@ -30,7 +30,8 @@ sim::Task<> producer(pe::ProcessingElement& pe, mem::Addr data, int consumer) {
 
 /// Rank 1: wait for the token (no shared-memory polling!), then read the
 /// value through the cache with an explicit invalidate.
-sim::Task<> consumer(pe::ProcessingElement& pe, mem::Addr data, int producer_node) {
+sim::Task<> consumer(pe::ProcessingElement& pe, mem::Addr data,
+                     int producer_node) {
   co_await pe.mp_recv(producer_node);
   co_await pe.invalidate_line(data);  // drop any stale cached copy
   auto r = co_await pe.load(data);

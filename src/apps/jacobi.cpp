@@ -96,14 +96,20 @@ struct Ctx {
   sim::Cycle t_start = 0;
   sim::Cycle t_end = 0;
 
-  int first_global_row(int rank) const { return 1 + part[static_cast<std::size_t>(rank)].start; }
-  int last_global_row(int rank) const { return part[static_cast<std::size_t>(rank)].end; }  // inclusive: 1+end-1
+  int first_global_row(int rank) const {
+    return 1 + part[static_cast<std::size_t>(rank)].start;
+  }
+  // inclusive: 1+end-1
+  int last_global_row(int rank) const {
+    return part[static_cast<std::size_t>(rank)].end;
+  }
 
   /// Variant A: address of owned (local_row, col) in buffer `buf` of
   /// `rank`; local_row in [0, rows).
   Addr priv(int rank, int buf, int local_row, int col) const {
     const int rows = part[static_cast<std::size_t>(rank)].rows();
-    const std::uint32_t buf_bytes = static_cast<std::uint32_t>(rows) * row_bytes;
+    const std::uint32_t buf_bytes =
+        static_cast<std::uint32_t>(rows) * row_bytes;
     return sys->private_addr(
         rank, static_cast<std::uint32_t>(buf) * buf_bytes +
                   static_cast<std::uint32_t>(local_row) * row_bytes +
@@ -172,7 +178,8 @@ sim::Task<> compute_block_private(std::shared_ptr<Ctx> cx,
   const int n = cx->n;
   const int rows = cx->part[static_cast<std::size_t>(rank)].rows();
   for (int r = 0; r < rows; ++r) {
-    const Addr up_addr0 = r == 0 ? cx->halo(0, 0) : cx->priv(rank, cur, r - 1, 0);
+    const Addr up_addr0 =
+        r == 0 ? cx->halo(0, 0) : cx->priv(rank, cur, r - 1, 0);
     const Addr dn_addr0 =
         r == rows - 1 ? cx->halo(1, 0) : cx->priv(rank, cur, r + 1, 0);
     for (int c = 1; c <= n - 2; ++c) {
@@ -182,10 +189,11 @@ sim::Task<> compute_block_private(std::shared_ptr<Ctx> cx,
       auto rt = co_await pe.load_double(cx->priv(rank, cur, r, c + 1));
       co_await pe.fp_block(3, 1);
       co_await pe.compute(kLoopOverheadCycles);
-      const double v = 0.25 * (mem::make_double(lo32(up.value), hi32(up.value)) +
-                               mem::make_double(lo32(dn.value), hi32(dn.value)) +
-                               mem::make_double(lo32(lf.value), hi32(lf.value)) +
-                               mem::make_double(lo32(rt.value), hi32(rt.value)));
+      const double v =
+          0.25 * (mem::make_double(lo32(up.value), hi32(up.value)) +
+                  mem::make_double(lo32(dn.value), hi32(dn.value)) +
+                  mem::make_double(lo32(lf.value), hi32(lf.value)) +
+                  mem::make_double(lo32(rt.value), hi32(rt.value)));
       co_await pe.store_double(cx->priv(rank, 1 - cur, r, c), v);
     }
   }
@@ -276,10 +284,11 @@ sim::Task<> compute_block_shared(std::shared_ptr<Ctx> cx,
       auto rt = co_await pe.load_double(cx->shared_at(cur, g, c + 1));
       co_await pe.fp_block(3, 1);
       co_await pe.compute(kLoopOverheadCycles);
-      const double v = 0.25 * (mem::make_double(lo32(up.value), hi32(up.value)) +
-                               mem::make_double(lo32(dn.value), hi32(dn.value)) +
-                               mem::make_double(lo32(lf.value), hi32(lf.value)) +
-                               mem::make_double(lo32(rt.value), hi32(rt.value)));
+      const double v =
+          0.25 * (mem::make_double(lo32(up.value), hi32(up.value)) +
+                  mem::make_double(lo32(dn.value), hi32(dn.value)) +
+                  mem::make_double(lo32(lf.value), hi32(lf.value)) +
+                  mem::make_double(lo32(rt.value), hi32(rt.value)));
       co_await pe.store_double(cx->shared_at(1 - cur, g, c), v);
     }
   }

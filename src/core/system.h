@@ -41,7 +41,9 @@ class MedeaSystem {
   const mem::MemoryMap& memory_map() const { return map_; }
 
   int num_cores() const { return static_cast<int>(cores_.size()); }
-  pe::ProcessingElement& core(int rank) { return *cores_.at(static_cast<std::size_t>(rank)); }
+  pe::ProcessingElement& core(int rank) {
+    return *cores_.at(static_cast<std::size_t>(rank));
+  }
   const pe::ProcessingElement& core(int rank) const {
     return *cores_.at(static_cast<std::size_t>(rank));
   }

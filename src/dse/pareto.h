@@ -36,7 +36,7 @@ struct SpeedupPoint {
   double speedup = 0.0;
   std::string label;
 };
-std::vector<SpeedupPoint> speedup_curve(const std::vector<DesignPoint>& frontier,
-                                        double baseline_cycles);
+std::vector<SpeedupPoint> speedup_curve(
+    const std::vector<DesignPoint>& frontier, double baseline_cycles);
 
 }  // namespace medea::dse

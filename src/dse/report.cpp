@@ -28,8 +28,9 @@ std::vector<ExecTimeCurve> exec_time_curves(
     // Sort each curve by core count.
     std::vector<std::size_t> idx(c.cores.size());
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-    std::sort(idx.begin(), idx.end(),
-              [&](std::size_t a, std::size_t b) { return c.cores[a] < c.cores[b]; });
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return c.cores[a] < c.cores[b];
+    });
     ExecTimeCurve sorted;
     sorted.title = c.title;
     for (std::size_t i : idx) {

@@ -174,8 +174,9 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     const double pps = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
     const double eta =
         pps > 0.0 ? static_cast<double>(jobs.size() - d) / pps : 0.0;
-    std::fprintf(stderr, "\r[sweep] %zu/%zu points (%.1f pts/s, ETA %.0fs)   %s",
-                 d, jobs.size(), pps, eta, final_line ? "\n" : "");
+    std::fprintf(stderr,
+                 "\r[sweep] %zu/%zu points (%.1f pts/s, ETA %.0fs)   %s", d,
+                 jobs.size(), pps, eta, final_line ? "\n" : "");
     std::fflush(stderr);
   };
 

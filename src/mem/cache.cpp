@@ -145,11 +145,13 @@ void Cache::invalidate_all() {
 }
 
 double Cache::hit_rate() const {
-  const auto hits = stats_.get("cache.read_hits") + stats_.get("cache.write_hits");
+  const auto hits =
+      stats_.get("cache.read_hits") + stats_.get("cache.write_hits");
   const auto misses =
       stats_.get("cache.read_misses") + stats_.get("cache.write_misses");
   const auto total = hits + misses;
-  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
 }
 
 }  // namespace medea::mem

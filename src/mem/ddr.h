@@ -19,8 +19,8 @@ struct DdrConfig {
   std::uint32_t per_word_latency = 4;  ///< additional cycles per burst word
 
   std::uint32_t burst_cycles(int words) const {
-    return access_latency +
-           per_word_latency * static_cast<std::uint32_t>(words > 0 ? words - 1 : 0);
+    const auto extra = static_cast<std::uint32_t>(words > 0 ? words - 1 : 0);
+    return access_latency + per_word_latency * extra;
   }
 };
 

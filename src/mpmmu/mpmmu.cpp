@@ -106,8 +106,8 @@ void Mpmmu::handle_lock(const Transaction& t, sim::Cycle now) {
   if (!e.held) {
     e.held = true;
     e.owner = t.src;
-    reply_q_.push_back(
-        make_reply(t.src, FlitType::kLock, FlitSubType::kAck, 0, 0, t.addr, now));
+    reply_q_.push_back(make_reply(t.src, FlitType::kLock, FlitSubType::kAck,
+                                  0, 0, t.addr, now));
     stats_.inc("mpmmu.locks_granted");
   } else {
     e.waiters.push_back(t.src);
@@ -125,8 +125,8 @@ void Mpmmu::handle_unlock(const Transaction& t, sim::Cycle now) {
     return;
   }
   LockEntry& e = it->second;
-  reply_q_.push_back(
-      make_reply(t.src, FlitType::kUnlock, FlitSubType::kAck, 0, 0, t.addr, now));
+  reply_q_.push_back(make_reply(t.src, FlitType::kUnlock, FlitSubType::kAck,
+                                0, 0, t.addr, now));
   stats_.inc("mpmmu.unlocks");
   if (!e.waiters.empty()) {
     e.owner = e.waiters.front();
@@ -151,7 +151,8 @@ void Mpmmu::start_transaction(sim::Cycle now) {
 
   switch (req.type) {
     case FlitType::kSingleRead:
-      busy_until_ = now + cfg_.engine_overhead + memory_read_latency(cur_.addr, 1);
+      busy_until_ =
+          now + cfg_.engine_overhead + memory_read_latency(cur_.addr, 1);
       state_ = State::kMemAccess;
       stats_.inc("mpmmu.single_reads");
       break;
@@ -166,8 +167,8 @@ void Mpmmu::start_transaction(sim::Cycle now) {
       cur_.words_expected =
           req.type == FlitType::kSingleWrite ? 1 : mem::kWordsPerLine;
       // Fig. 4(a): grant the sender; its payload will arrive in Pif-Data.
-      reply_q_.push_back(
-          make_reply(cur_.src, req.type, FlitSubType::kAck, 0, 0, cur_.addr, now));
+      reply_q_.push_back(make_reply(cur_.src, req.type, FlitSubType::kAck, 0,
+                                    0, cur_.addr, now));
       state_ = State::kWriteCollect;
       stats_.inc(req.type == FlitType::kSingleWrite ? "mpmmu.single_writes"
                                                     : "mpmmu.block_writes");

@@ -91,7 +91,8 @@ Flit decode_flit(std::uint64_t word, int coord_bits) {
       static_cast<std::uint8_t>(get_bits(word, pos, FlitFormat::kBurstBits));
   f.src_id =
       static_cast<std::uint8_t>(get_bits(word, pos, FlitFormat::kSrcIdBits));
-  f.data = static_cast<std::uint32_t>(get_bits(word, pos, FlitFormat::kDataBits));
+  f.data =
+      static_cast<std::uint32_t>(get_bits(word, pos, FlitFormat::kDataBits));
   return f;
 }
 

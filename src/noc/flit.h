@@ -107,7 +107,8 @@ struct Flit {
 /// Pack the wire-visible fields of a flit into a 64-bit word.
 /// Coordinates wider than FlitFormat::kCoordBits bits require the wide
 /// encoding (see encode_flit_wide); the default matches the paper's 4x4.
-std::uint64_t encode_flit(const Flit& f, int coord_bits = FlitFormat::kCoordBits);
+std::uint64_t encode_flit(const Flit& f,
+                          int coord_bits = FlitFormat::kCoordBits);
 
 /// Inverse of encode_flit.  Simulation metadata comes back zeroed.
 Flit decode_flit(std::uint64_t word, int coord_bits = FlitFormat::kCoordBits);

@@ -39,7 +39,9 @@ class XyNetwork {
   sim::Fifo<Flit>& inject(int node_id) { return router(node_id).inject(); }
   sim::Fifo<Flit>& eject(int node_id) { return router(node_id).eject(); }
 
-  XyRouter& router(int node_id) { return *routers_[static_cast<std::size_t>(node_id)]; }
+  XyRouter& router(int node_id) {
+    return *routers_[static_cast<std::size_t>(node_id)];
+  }
 
   sim::StatSet& stats() { return stats_; }
   const sim::StatSet& stats() const { return stats_; }

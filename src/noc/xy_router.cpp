@@ -84,7 +84,8 @@ void XyRouter::tick(sim::Cycle now) {
   }
   // Local injection staging shares the same structure.
   if (!inject_q_.empty() &&
-      buf_[kNumDirs].size() < static_cast<std::size_t>(cfg_.input_buffer_depth)) {
+      buf_[kNumDirs].size() <
+          static_cast<std::size_t>(cfg_.input_buffer_depth)) {
     Flit f = inject_q_.pop();
     if (q_announced_ > 0) --q_announced_;
     f.inject_cycle = now;
@@ -124,7 +125,9 @@ void XyRouter::tick(sim::Cycle now) {
     f.hops++;
     out_used[port] = true;
     // XY routing is always minimal, so a hop is never a deflection.
-    if (lifecycle_ != nullptr) lifecycle_->on_hop(now, node_id_, port, false, f);
+    if (lifecycle_ != nullptr) {
+      lifecycle_->on_hop(now, node_id_, port, false, f);
+    }
     link->push(f);
   }
   rr_ = (rr_ + 1) % (kNumDirs + 1);

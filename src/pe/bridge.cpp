@@ -130,13 +130,15 @@ void Pif2NocBridge::rx(const Flit& f) {
     case FlitSubType::kNack:
       throw std::runtime_error("MPMMU nacked transaction: " + f.to_string());
     case FlitSubType::kAddress:
-      throw std::runtime_error("bridge received Address flit: " + f.to_string());
+      throw std::runtime_error("bridge received Address flit: " +
+                               f.to_string());
   }
 }
 
 void Pif2NocBridge::complete_current() {
   assert(cur_.has_value());
-  assert(!completion_.has_value() && "one completion per cycle (serial engine)");
+  assert(!completion_.has_value() &&
+         "one completion per cycle (serial engine)");
   Completion c;
   c.id = cur_->id;
   c.purpose = cur_->purpose;

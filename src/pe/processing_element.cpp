@@ -322,8 +322,8 @@ bool ProcessingElement::try_cache_access(sim::Cycle now) {
       }
       auto hi = cache_.read_word(cur_op_.addr + mem::kWordBytes);
       assert(hi && "8-byte-aligned double lives in one 16-byte line");
-      result_.value =
-          (static_cast<std::uint64_t>(*hi) << 32) | static_cast<std::uint64_t>(*lo);
+      result_.value = (static_cast<std::uint64_t>(*hi) << 32) |
+                      static_cast<std::uint64_t>(*lo);
       start_timer(now, 2);
       return true;
     }
@@ -790,7 +790,8 @@ void ProcessingElement::tick(sim::Cycle now) {
   if (phase_ == Phase::kTimed && done_at_ > now) {
     scheduler().wake_at(*this, done_at_);
   }
-  if (engines_busy || op_polling || (phase_ == Phase::kTimed && done_at_ <= now)) {
+  if (engines_busy || op_polling ||
+      (phase_ == Phase::kTimed && done_at_ <= now)) {
     wake();
   }
   // kAwaitTx / kAwaitPacket resolve via incoming flits, which wake us

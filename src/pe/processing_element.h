@@ -206,7 +206,7 @@ class ProcessingElement : public sim::Component {
   void advance_mp_recv_block(sim::Cycle now);
   std::optional<std::uint32_t> read_word_any(mem::Addr a);  // cache or scratch
   void write_scratch_or_fail(mem::Addr a, std::uint32_t v);
-  bool try_cache_access(sim::Cycle now);   // returns true when op retired/advanced
+  bool try_cache_access(sim::Cycle now);  // true when op retired/advanced
   void begin_fill(mem::Addr line_addr);
   void queue_fire_forget(Pif2NocBridge::Tx tx);
   void try_issue_stores(sim::Cycle now);

@@ -85,12 +85,24 @@ void SimDomain::add_pre_sample(std::function<void()> fn) {
   for (const auto& s : shards_) total += s->counter();  \
   return total
 
-std::uint64_t SimDomain::wake_requests() const { MEDEA_DOMAIN_SUM(wake_requests); }
-std::uint64_t SimDomain::wakes_deduped() const { MEDEA_DOMAIN_SUM(wakes_deduped); }
-std::uint64_t SimDomain::bucket_pushes() const { MEDEA_DOMAIN_SUM(bucket_pushes); }
-std::uint64_t SimDomain::overflow_pushes() const { MEDEA_DOMAIN_SUM(overflow_pushes); }
-std::uint64_t SimDomain::commit_pushes() const { MEDEA_DOMAIN_SUM(commit_pushes); }
-std::uint64_t SimDomain::commits_deduped() const { MEDEA_DOMAIN_SUM(commits_deduped); }
+std::uint64_t SimDomain::wake_requests() const {
+  MEDEA_DOMAIN_SUM(wake_requests);
+}
+std::uint64_t SimDomain::wakes_deduped() const {
+  MEDEA_DOMAIN_SUM(wakes_deduped);
+}
+std::uint64_t SimDomain::bucket_pushes() const {
+  MEDEA_DOMAIN_SUM(bucket_pushes);
+}
+std::uint64_t SimDomain::overflow_pushes() const {
+  MEDEA_DOMAIN_SUM(overflow_pushes);
+}
+std::uint64_t SimDomain::commit_pushes() const {
+  MEDEA_DOMAIN_SUM(commit_pushes);
+}
+std::uint64_t SimDomain::commits_deduped() const {
+  MEDEA_DOMAIN_SUM(commits_deduped);
+}
 std::size_t SimDomain::queued() const { MEDEA_DOMAIN_SUM(queued); }
 
 #undef MEDEA_DOMAIN_SUM

@@ -20,7 +20,9 @@ Component::Component(Scheduler& sched, std::string name)
   hook_.comp = this;
 }
 
-void Component::wake(Cycle delta) { sched_.wake_at(*this, sched_.now() + delta); }
+void Component::wake(Cycle delta) {
+  sched_.wake_at(*this, sched_.now() + delta);
+}
 
 Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg) {
   if (cfg_.ring_bits == 0) {
@@ -168,13 +170,15 @@ Cycle Scheduler::next_ring_cycle() const {
   };
   std::uint64_t word = ring_bitmap_[w0] & (~std::uint64_t{0} << shift);
   if (word != 0) {
-    return cycle_of((w0 << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+    return cycle_of((w0 << 6) +
+                    static_cast<std::size_t>(std::countr_zero(word)));
   }
   for (std::size_t k = 1; k < nwords; ++k) {
     const std::size_t w = (w0 + k) & (nwords - 1);
     if (ring_bitmap_[w] != 0) {
-      return cycle_of((w << 6) +
-                      static_cast<std::size_t>(std::countr_zero(ring_bitmap_[w])));
+      return cycle_of(
+          (w << 6) +
+          static_cast<std::size_t>(std::countr_zero(ring_bitmap_[w])));
     }
   }
   if (shift != 0) {

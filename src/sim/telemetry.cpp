@@ -58,7 +58,8 @@ void Sampler::add_counter(std::string name,
   probes_.push_back({std::move(name), true, std::move(probe)});
 }
 
-void Sampler::add_gauge(std::string name, std::function<std::uint64_t()> probe) {
+void Sampler::add_gauge(std::string name,
+                        std::function<std::uint64_t()> probe) {
   probes_.push_back({std::move(name), false, std::move(probe)});
 }
 
@@ -188,10 +189,12 @@ void Sampler::finish(sim::Cycle end) {
 // HostProfiler / ProfileScope
 // ---------------------------------------------------------------------
 
+// The host profiler measures wall-clock spans of the *simulator
+// process* (Perfetto host track); simulated time never reads it.
+using HostClock = std::chrono::steady_clock;  // lint:allow(banned-time-source)
+
 struct HostProfiler::Impl {
-  // The host profiler measures wall-clock spans of the *simulator
-  // process* (Perfetto host track); simulated time never reads it.
-  std::chrono::steady_clock::time_point epoch;  // lint:allow(banned-time-source)
+  HostClock::time_point epoch;
   std::atomic<bool> enabled{false};
   mutable std::mutex mu;
   std::vector<HostSpan> spans;
@@ -204,8 +207,7 @@ thread_local std::uint32_t t_tid = ~std::uint32_t{0};
 
 HostProfiler::HostProfiler() : impl_(new Impl) {
   // Host-track epoch, not simulated time.
-  impl_->epoch =
-      std::chrono::steady_clock::now();  // lint:allow(banned-time-source)
+  impl_->epoch = HostClock::now();
 }
 
 HostProfiler& HostProfiler::instance() {
@@ -225,8 +227,7 @@ std::uint64_t HostProfiler::now_us() const {
   // Host-track timestamp, not simulated time.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() -  // lint:allow(banned-time-source)
-          impl_->epoch)
+          HostClock::now() - impl_->epoch)
           .count());
 }
 

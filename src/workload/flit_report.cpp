@@ -167,8 +167,10 @@ std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
          [](const auto& f) { return cycle_or_missing(f.inject_cycle); });
   column("deliver",
          [](const auto& f) { return cycle_or_missing(f.deliver_cycle); });
-  column("first_hop", [](const auto& f) { return std::to_string(f.first_hop); });
-  column("hop_count", [](const auto& f) { return std::to_string(f.hop_count); });
+  column("first_hop",
+         [](const auto& f) { return std::to_string(f.first_hop); });
+  column("hop_count",
+         [](const auto& f) { return std::to_string(f.hop_count); });
   column("deflections",
          [](const auto& f) { return std::to_string(f.deflections); });
   column("complete",
@@ -176,7 +178,8 @@ std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
          true);
   os << "  },\n";
 
-  const auto hop_column = [&](const char* name, auto getter, bool last = false) {
+  const auto hop_column = [&](const char* name, auto getter,
+                              bool last = false) {
     os << "    \"" << name << "\": [";
     for (std::size_t i = 0; i < ft.hop_cycle.size(); ++i) {
       os << (i ? "," : "") << getter(i);
@@ -188,9 +191,10 @@ std::string format_flit_trace_json(const telemetry::FlitTrace& ft,
   hop_column("node", [&](std::size_t i) { return ft.hop_node[i]; });
   hop_column("port",
              [&](std::size_t i) { return static_cast<int>(ft.hop_port[i]); });
-  hop_column("deflected",
-             [&](std::size_t i) { return static_cast<int>(ft.hop_deflected[i]); },
-             true);
+  hop_column(
+      "deflected",
+      [&](std::size_t i) { return static_cast<int>(ft.hop_deflected[i]); },
+      true);
   os << "  }\n";
   os << "}\n";
   return std::move(os).str();

@@ -57,8 +57,10 @@ bool parse_router_series(const telemetry::Series& s, RouterSeries& out) {
   const auto at = s.name.find(tag);
   if (at == std::string::npos) return false;
   std::size_t i = at + tag.size();
-  if (i >= s.name.size() || !std::isdigit(static_cast<unsigned char>(s.name[i])))
+  if (i >= s.name.size() ||
+      !std::isdigit(static_cast<unsigned char>(s.name[i]))) {
     return false;
+  }
   int id = 0;
   while (i < s.name.size() &&
          std::isdigit(static_cast<unsigned char>(s.name[i]))) {

@@ -88,7 +88,7 @@ struct SyntheticParams {
 
 /// Knobs for full-system applications (WorkloadKind::kApp).
 struct AppParams {
-  int size = -1;              ///< problem size (grid n / elements); -1 = default
+  int size = -1;              ///< problem size (grid n / elems); -1 = default
   int iterations = 1;         ///< timed iterations / reduce rounds
   int warmup_iterations = 1;  ///< untimed warm-up iterations
 };

@@ -15,7 +15,9 @@ namespace {
 
 TEST(Partition, EvenSplit) {
   auto p = partition_rows(12, 4);
-  for (int k = 0; k < 4; ++k) EXPECT_EQ(p[static_cast<std::size_t>(k)].rows(), 3);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(p[static_cast<std::size_t>(k)].rows(), 3);
+  }
   EXPECT_EQ(p[0].start, 0);
   EXPECT_EQ(p[3].end, 12);
 }
@@ -141,14 +143,22 @@ TEST_P(JacobiCorrectness, MatchesSequentialReferenceBitExactly) {
 INSTANTIATE_TEST_SUITE_P(
     Variants, JacobiCorrectness,
     ::testing::Values(
-        VariantCase{JacobiVariant::kHybridMp, 1, 8, mem::WritePolicy::kWriteBack},
-        VariantCase{JacobiVariant::kHybridMp, 3, 8, mem::WritePolicy::kWriteBack},
-        VariantCase{JacobiVariant::kHybridMp, 6, 2, mem::WritePolicy::kWriteBack},
-        VariantCase{JacobiVariant::kHybridMp, 3, 8, mem::WritePolicy::kWriteThrough},
-        VariantCase{JacobiVariant::kHybridSyncOnly, 3, 8, mem::WritePolicy::kWriteBack},
-        VariantCase{JacobiVariant::kHybridSyncOnly, 4, 2, mem::WritePolicy::kWriteThrough},
-        VariantCase{JacobiVariant::kPureSharedMemory, 3, 8, mem::WritePolicy::kWriteBack},
-        VariantCase{JacobiVariant::kPureSharedMemory, 4, 2, mem::WritePolicy::kWriteThrough}),
+        VariantCase{JacobiVariant::kHybridMp, 1, 8,
+                    mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridMp, 3, 8,
+                    mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridMp, 6, 2,
+                    mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridMp, 3, 8,
+                    mem::WritePolicy::kWriteThrough},
+        VariantCase{JacobiVariant::kHybridSyncOnly, 3, 8,
+                    mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kHybridSyncOnly, 4, 2,
+                    mem::WritePolicy::kWriteThrough},
+        VariantCase{JacobiVariant::kPureSharedMemory, 3, 8,
+                    mem::WritePolicy::kWriteBack},
+        VariantCase{JacobiVariant::kPureSharedMemory, 4, 2,
+                    mem::WritePolicy::kWriteThrough}),
     [](const ::testing::TestParamInfo<VariantCase>& info) {
       const auto& c = info.param;
       std::string s = to_string(c.variant);

@@ -62,7 +62,8 @@ TEST(Scratchpad, BackdoorAndSimulatedAccessAgree) {
   const mem::Addr sp = sys.memory_map().scratchpad_base() + 0x40;
   sys.core(0).scratch_write_double(sp, 2.25);
   double got = 0;
-  auto prog = [](ProcessingElement& pe, mem::Addr a, double* out) -> sim::Task<> {
+  auto prog = [](ProcessingElement& pe, mem::Addr a,
+                 double* out) -> sim::Task<> {
     auto v = co_await pe.load_double(a);
     *out = mem::make_double(static_cast<std::uint32_t>(v.value),
                             static_cast<std::uint32_t>(v.value >> 32));
@@ -103,8 +104,10 @@ TEST(MpBlock, StreamsMemoryToScratchpad) {
                      int n) -> sim::Task<> {
     co_await pe.mp_recv_block(src, a, n);
   };
-  sys.set_program(0, sender(sys.core(0), sys.node_of_rank(1), src_buf, n_words));
-  sys.set_program(1, receiver(sys.core(1), sys.node_of_rank(0), dst_sp, n_words));
+  sys.set_program(0,
+                  sender(sys.core(0), sys.node_of_rank(1), src_buf, n_words));
+  sys.set_program(
+      1, receiver(sys.core(1), sys.node_of_rank(0), dst_sp, n_words));
   sys.run();
   for (int i = 0; i < n_words; ++i) {
     EXPECT_EQ(sys.core(1).scratch_read_word(dst_sp +
@@ -124,7 +127,8 @@ TEST(MpBlock, ScratchpadToScratchpadTransfer) {
   auto sender = [](ProcessingElement& pe, int dst, mem::Addr a) -> sim::Task<> {
     co_await pe.mp_send_block(dst, a, 8);
   };
-  auto receiver = [](ProcessingElement& pe, int src, mem::Addr a) -> sim::Task<> {
+  auto receiver = [](ProcessingElement& pe, int src,
+                     mem::Addr a) -> sim::Task<> {
     co_await pe.mp_recv_block(src, a, 8);
   };
   sys.set_program(0, sender(sys.core(0), sys.node_of_rank(1), sp));
@@ -167,7 +171,8 @@ TEST(MpBlock, RecvIntoNonScratchpadThrows) {
   auto sender = [](ProcessingElement& pe, int dst, mem::Addr a) -> sim::Task<> {
     co_await pe.mp_send_block(dst, a, 4);
   };
-  auto receiver = [](ProcessingElement& pe, int src, mem::Addr a) -> sim::Task<> {
+  auto receiver = [](ProcessingElement& pe, int src,
+                     mem::Addr a) -> sim::Task<> {
     co_await pe.mp_recv_block(src, a, 4);  // private addr: must throw
   };
   sys.set_program(0, sender(sys.core(0), sys.node_of_rank(1),
@@ -190,7 +195,8 @@ TEST(MpBlock, ColdSourceLinesAreFilledThenStreamed) {
   auto sender = [](ProcessingElement& pe, int dst, mem::Addr a) -> sim::Task<> {
     co_await pe.mp_send_block(dst, a, 16);  // no prior warming
   };
-  auto receiver = [](ProcessingElement& pe, int src, mem::Addr a) -> sim::Task<> {
+  auto receiver = [](ProcessingElement& pe, int src,
+                     mem::Addr a) -> sim::Task<> {
     co_await pe.mp_recv_block(src, a, 16);
   };
   sys.set_program(0, sender(sys.core(0), sys.node_of_rank(1), src_buf));

@@ -51,7 +51,8 @@ TEST(PaperShape, WriteThroughWorseThanWriteBackWhenCacheFits) {
 TEST(PaperShape, WriteThroughDoesNotScaleWithCores) {
   // Fig. 6: the WT curves stay poor as cores grow (traffic serializes).
   const double wt4 = jacobi_cycles(16, 4, 16, mem::WritePolicy::kWriteThrough);
-  const double wt12 = jacobi_cycles(16, 12, 16, mem::WritePolicy::kWriteThrough);
+  const double wt12 =
+      jacobi_cycles(16, 12, 16, mem::WritePolicy::kWriteThrough);
   EXPECT_GT(wt12, wt4 * 0.5) << "no ~3x speedup from 3x the cores";
 }
 

@@ -205,7 +205,8 @@ TEST(SchedulerDiff, FlitTracedRunIsBitIdenticalAcrossKernelsAndToUntraced) {
 
   req.machine.scheduler = calendar_cfg();
   DeliveryLog cal_log;
-  const workload::RunResult cal = workload::run_by_name("uniform", req, &cal_log);
+  const workload::RunResult cal =
+      workload::run_by_name("uniform", req, &cal_log);
   req.machine.scheduler = legacy_cfg();
   DeliveryLog heap_log;
   const workload::RunResult heap =

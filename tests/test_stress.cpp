@@ -160,11 +160,13 @@ sim::Task<> mixed_program(pe::ProcessingElement& pe, core::MedeaSystem& sys,
   const mem::Addr lock_word = sys.memory_map().shared_base();
   const mem::Addr counter = lock_word + 4;
   for (int i = 0; i < 5; ++i) {
-    co_await pe.store(sys.private_addr(rank, static_cast<std::uint32_t>(i) * 4096),
-                      static_cast<std::uint32_t>(i));
+    co_await pe.store(
+        sys.private_addr(rank, static_cast<std::uint32_t>(i) * 4096),
+        static_cast<std::uint32_t>(i));
     co_await pe.lock(lock_word);
     auto v = co_await pe.load_uncached(counter);
-    co_await pe.store_uncached(counter, static_cast<std::uint32_t>(v.value) + 1);
+    co_await pe.store_uncached(counter,
+                               static_cast<std::uint32_t>(v.value) + 1);
     co_await pe.unlock(lock_word);
     std::vector<std::uint32_t> tok(1, static_cast<std::uint32_t>(i));
     co_await pe.mp_send(sys.node_of_rank((rank + 1) % cores), std::move(tok));
